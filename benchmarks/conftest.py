@@ -1,0 +1,35 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced (but meaningful) measurement scale, prints the same rows the
+paper reports, and attaches the key numbers as pytest-benchmark
+``extra_info`` so they land in the JSON output.
+
+Set ``SABRES_BENCH_SCALE`` (default 0.25) to trade time for precision;
+1.0 reproduces the full-size runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("SABRES_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture
+def scale() -> float:
+    return bench_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(title: str, table: str) -> None:
+    print(f"\n=== {title} ===")
+    print(table)

@@ -1,0 +1,53 @@
+"""Ablation (§2.1): the software atomicity mechanisms SABRes replace.
+
+Pilaf's checksums cost ~a dozen CPU cycles per byte; FaRM's
+per-cache-line versions are far cheaper but still scale with object
+size and break zero-copy.  LightSABRes remove the check entirely.
+"""
+
+from conftest import bench_scale, run_once, show
+
+from repro.harness.report import format_table, scaled_duration
+from repro.workloads.microbench import MicrobenchConfig, run_microbench
+
+MECHANISMS = ("sabre", "percl_versions", "checksum")
+
+
+def _run(mechanism: str, scale: float):
+    result = run_microbench(
+        MicrobenchConfig(
+            mechanism=mechanism,
+            object_size=2048,
+            n_objects=256,
+            readers=2,
+            duration_ns=scaled_duration(80_000.0, scale),
+            warmup_ns=10_000.0,
+        )
+    )
+    return {
+        "mechanism": mechanism,
+        "mean_latency_ns": result.mean_op_latency_ns,
+        "goodput_gbps": result.goodput_gbps,
+    }
+
+
+def _sweep(scale: float):
+    return [_run(m, scale) for m in MECHANISMS]
+
+
+def test_software_mechanism_ladder(benchmark, scale):
+    rows = run_once(benchmark, _sweep, bench_scale())
+    show(
+        "Ablation: atomicity mechanism cost ladder (2 KB objects)",
+        format_table(("mechanism", "mean_latency_ns", "goodput_gbps"), rows),
+    )
+    by_mech = {r["mechanism"]: r for r in rows}
+    sabre = by_mech["sabre"]["mean_latency_ns"]
+    percl = by_mech["percl_versions"]["mean_latency_ns"]
+    checksum = by_mech["checksum"]["mean_latency_ns"]
+    assert sabre < percl < checksum
+    # §2.1: checksums cost microseconds for KB-sized objects.
+    assert checksum > 5 * percl
+    benchmark.extra_info["latency_ladder_ns"] = {
+        m: round(by_mech[m]["mean_latency_ns"], 1) for m in MECHANISMS
+    }

@@ -1,0 +1,71 @@
+"""Ablation (DG2, §4.1): stream-buffer count vs small-SABRe concurrency.
+
+The number of stream buffers caps concurrent SABRes per R2P2.  With
+many threads issuing small SABRes, too few buffers cause ATT
+backpressure and throughput collapse; the paper provisions 16.
+"""
+
+import dataclasses
+
+from conftest import bench_scale, run_once, show
+
+from repro.common.config import ClusterConfig
+from repro.harness.report import format_table, scaled_duration
+from repro.workloads.microbench import MicrobenchConfig, run_microbench
+
+COUNTS = (1, 4, 16)
+
+
+def _throughput_for_count(count: int, scale: float):
+    cfg = ClusterConfig()
+    sabre = dataclasses.replace(cfg.node.sabre, stream_buffers=count)
+    node = dataclasses.replace(cfg.node, sabre=sabre)
+    cfg = dataclasses.replace(cfg, node=node)
+    result = run_microbench(
+        MicrobenchConfig(
+            mechanism="sabre",
+            object_size=128,
+            n_objects=256,
+            readers=16,
+            async_window=8,
+            duration_ns=scaled_duration(60_000.0, scale),
+            warmup_ns=8_000.0,
+            cluster=cfg,
+        )
+    )
+    return result.goodput_gbps, result.destination_counters.get(
+        "att_backpressure", 0
+    )
+
+
+def _sweep(scale: float):
+    rows = []
+    for count in COUNTS:
+        gbps, backpressure = _throughput_for_count(count, scale)
+        rows.append(
+            {
+                "stream_buffers": count,
+                "small_sabre_gbps": gbps,
+                "att_backpressure_events": backpressure,
+            }
+        )
+    return rows
+
+
+def test_stream_buffer_count_sweep(benchmark, scale):
+    rows = run_once(benchmark, _sweep, bench_scale())
+    show(
+        "Ablation: stream buffer count vs 128 B SABRe throughput",
+        format_table(
+            ("stream_buffers", "small_sabre_gbps", "att_backpressure_events"),
+            rows,
+        ),
+    )
+    by_count = {r["stream_buffers"]: r for r in rows}
+    assert (
+        by_count[16]["small_sabre_gbps"] > 1.2 * by_count[1]["small_sabre_gbps"]
+    )
+    assert by_count[1]["att_backpressure_events"] > 0
+    benchmark.extra_info["gbps_by_count"] = {
+        r["stream_buffers"]: round(r["small_sabre_gbps"], 2) for r in rows
+    }

@@ -1,0 +1,61 @@
+"""Ablation (DG1, §4.1): stream-buffer depth vs single-SABRe latency.
+
+The depth bounds how many loads can be in flight during the window of
+vulnerability.  Little's law at the 20 GBps per-R2P2 target and ~90 ns
+memory latency yields ~28 outstanding blocks — hence the paper's depth
+of 32.  Shallow buffers stall the unroll and inflate latency of large
+SABRes; depth beyond the bandwidth-delay product buys nothing.
+"""
+
+import dataclasses
+
+from conftest import bench_scale, run_once, show
+
+from repro.common.config import ClusterConfig
+from repro.harness.report import format_table, scaled_duration
+from repro.workloads.microbench import MicrobenchConfig, run_microbench
+
+DEPTHS = (2, 8, 32, 128)
+
+
+def _latency_for_depth(depth: int, scale: float) -> float:
+    cfg = ClusterConfig()
+    sabre = dataclasses.replace(cfg.node.sabre, stream_buffer_depth=depth)
+    node = dataclasses.replace(cfg.node, sabre=sabre)
+    cfg = dataclasses.replace(cfg, node=node)
+    result = run_microbench(
+        MicrobenchConfig(
+            mechanism="sabre",
+            object_size=8192,
+            n_objects=512,
+            readers=1,
+            duration_ns=scaled_duration(60_000.0, scale),
+            warmup_ns=5_000.0,
+            cluster=cfg,
+        )
+    )
+    return result.mean_transfer_latency_ns
+
+
+def _sweep(scale: float):
+    return [
+        {"depth": d, "sabre_8kb_latency_ns": _latency_for_depth(d, scale)}
+        for d in DEPTHS
+    ]
+
+
+def test_stream_buffer_depth_sweep(benchmark, scale):
+    rows = run_once(benchmark, _sweep, bench_scale())
+    show(
+        "Ablation: stream buffer depth vs 8 KB SABRe latency",
+        format_table(("depth", "sabre_8kb_latency_ns"), rows),
+    )
+    lat = {r["depth"]: r["sabre_8kb_latency_ns"] for r in rows}
+    # Starving the window hurts; the paper's depth is on the plateau.
+    assert lat[2] > 1.08 * lat[32]
+    assert lat[8] > lat[32]
+    # Beyond the bandwidth-delay product there is nothing left to win.
+    assert abs(lat[128] - lat[32]) < 0.05 * lat[32]
+    benchmark.extra_info["latency_by_depth"] = {
+        d: round(v, 1) for d, v in lat.items()
+    }

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A tour of the atomic-read design space (Table 1 + §3.2).
+
+Runs the same contended workload under every concurrency-control
+variant this library implements and contrasts their behavior:
+
+* destination-side OCC with speculation  (LightSABRes, the paper),
+* destination-side OCC without speculation (serialized version read),
+* destination-side shared reader locks,
+* source-side software OCC: FaRM per-cache-line versions and
+  Pilaf-style checksums.
+
+Run:  python examples/design_space_tour.py
+"""
+
+from repro import ClusterConfig, MicrobenchConfig, SabreMode, run_microbench
+from repro.core.design_space import design_space_table
+
+VARIANTS = (
+    ("LightSABRes (speculative)", "sabre", SabreMode.SPECULATIVE),
+    ("SABRe, no speculation", "sabre", SabreMode.NO_SPECULATION),
+    ("SABRe, destination locks", "sabre", SabreMode.LOCKING),
+    ("FaRM perCL versions (sw)", "percl_versions", SabreMode.SPECULATIVE),
+    ("Pilaf checksums (sw)", "checksum", SabreMode.SPECULATIVE),
+)
+
+
+def main() -> None:
+    print("Table 1 (regenerated):\n")
+    print(design_space_table())
+    print("\nSame workload, every mechanism (4 readers, 2 paced writers,"
+          " 1 KB objects):\n")
+    print(f"{'variant':>26s} {'mean ns':>8s} {'GB/s':>6s} "
+          f"{'conflicts':>9s} {'torn':>5s}")
+    for label, mechanism, mode in VARIANTS:
+        cfg = MicrobenchConfig(
+            mechanism=mechanism,
+            object_size=1024,
+            n_objects=64,
+            readers=4,
+            writers=2,
+            writer_think_ns=1000.0,
+            duration_ns=120_000.0,
+            warmup_ns=15_000.0,
+            cluster=ClusterConfig().with_sabre_mode(mode),
+        )
+        result = run_microbench(cfg)
+        conflicts = result.sabre_aborts + result.software_conflicts
+        print(
+            f"{label:>26s} {result.mean_op_latency_ns:8.1f} "
+            f"{result.goodput_gbps:6.2f} {conflicts:9d} "
+            f"{result.undetected_violations:5d}"
+        )
+    print("\nNotes: locking never aborts but serializes against writers; "
+          "checksums pay ~12\ncycles/byte; speculation removes the "
+          "serialized first memory access (§3.3).")
+
+
+if __name__ == "__main__":
+    main()

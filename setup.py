@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build an editable
+wheel.  This shim lets pip fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Concurrency-control mechanisms for atomic object reads (Table 1).
+
+Source-side software mechanisms (FaRM per-cache-line versions, Pilaf
+checksums) and destination-side locking state live here; the
+destination-side hardware mechanism (LightSABRes) lives in
+:mod:`repro.core`.
+"""
+
+from repro.atomicity.locks import LeaseLockTable, ReaderWriterLockTable
+from repro.atomicity.mechanisms import (
+    AtomicityMechanism,
+    ChecksumMechanism,
+    HardwareSabreMechanism,
+    PerCacheLineMechanism,
+    mechanism_by_name,
+)
+
+__all__ = [
+    "AtomicityMechanism",
+    "ChecksumMechanism",
+    "HardwareSabreMechanism",
+    "LeaseLockTable",
+    "PerCacheLineMechanism",
+    "ReaderWriterLockTable",
+    "mechanism_by_name",
+]

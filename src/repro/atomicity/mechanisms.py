@@ -1,0 +1,113 @@
+"""Atomicity-mechanism strategies used by readers.
+
+Each mechanism bundles the object layout it requires, whether the read
+path is zero-copy, the functional post-transfer check, and the CPU
+cost charged for that check — the ingredients Figs. 1, 8, 9 and 10
+vary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.common.costs import SoftwareCosts
+from repro.objstore.layout import (
+    ChecksumLayout,
+    ObjectLayout,
+    PerCacheLineLayout,
+    RawLayout,
+    StripResult,
+)
+
+
+class AtomicityMechanism(ABC):
+    """Strategy for enforcing atomic remote object reads."""
+
+    #: Short identifier used in result tables.
+    name: str = ""
+    #: True when the transfer can land directly in the application
+    #: buffer (no intermediate buffering, no stripping) — §2.3.
+    zero_copy: bool = False
+    #: True when atomicity is enforced by destination hardware, so the
+    #: reader trusts the CQ success flag rather than inspecting bytes.
+    hardware: bool = False
+
+    def __init__(self, layout: ObjectLayout):
+        self.layout = layout
+
+    @abstractmethod
+    def check(self, raw: bytes, data_len: int) -> StripResult:
+        """Functional post-transfer validation + data extraction."""
+
+    @abstractmethod
+    def check_cost_ns(self, costs: SoftwareCosts, data_len: int) -> float:
+        """CPU time charged for :meth:`check` on the reader core."""
+
+
+class PerCacheLineMechanism(AtomicityMechanism):
+    """FaRM's per-cache-line versions (state of the art, §2.1)."""
+
+    name = "percl_versions"
+    zero_copy = False
+
+    def __init__(self, version_bits: int = 16):
+        super().__init__(PerCacheLineLayout(version_bits))
+
+    def check(self, raw: bytes, data_len: int) -> StripResult:
+        return self.layout.unpack(raw, data_len)
+
+    def check_cost_ns(self, costs: SoftwareCosts, data_len: int) -> float:
+        return costs.strip_cost_ns(self.layout.wire_size(data_len))
+
+
+class ChecksumMechanism(AtomicityMechanism):
+    """Pilaf's checksum validation (§2.1): ~12 cycles per byte."""
+
+    name = "checksum"
+    zero_copy = False
+
+    def __init__(self) -> None:
+        super().__init__(ChecksumLayout())
+
+    def check(self, raw: bytes, data_len: int) -> StripResult:
+        return self.layout.unpack(raw, data_len)
+
+    def check_cost_ns(self, costs: SoftwareCosts, data_len: int) -> float:
+        return costs.checksum_cost_ns(data_len)
+
+
+class HardwareSabreMechanism(AtomicityMechanism):
+    """SABRes: atomicity is the destination hardware's problem.
+
+    The object store stays unmodified (RawLayout), transfers are
+    zero-copy, and the reader's only check is the CQ success field —
+    an object-size-agnostic action (§7.2).
+    """
+
+    name = "sabre"
+    zero_copy = True
+    hardware = True
+
+    def __init__(self) -> None:
+        super().__init__(RawLayout())
+
+    def check(self, raw: bytes, data_len: int) -> StripResult:
+        return self.layout.unpack(raw, data_len)
+
+    def check_cost_ns(self, costs: SoftwareCosts, data_len: int) -> float:
+        return 0.0
+
+
+def mechanism_by_name(name: str) -> AtomicityMechanism:
+    """Factory used by the CLI and benchmark harnesses."""
+    table = {
+        PerCacheLineMechanism.name: PerCacheLineMechanism,
+        ChecksumMechanism.name: ChecksumMechanism,
+        HardwareSabreMechanism.name: HardwareSabreMechanism,
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {name!r}; choose from {sorted(table)}"
+        ) from None

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an illegal state."""
+
+
+class AtomicityError(ReproError):
+    """A torn (non-atomic) object read was consumed by the application.
+
+    Raised by validation layers when a mechanism reports success for a
+    read whose payload mixes data from different committed versions.
+    A correct mechanism never lets this propagate.
+    """
+
+
+class ProtocolError(ReproError):
+    """A soNUMA protocol invariant was violated (e.g. reply without
+    a matching request, duplicate completion)."""

@@ -1,0 +1,53 @@
+"""Units and unit conversions used throughout the simulator.
+
+All simulated time is measured in **nanoseconds** (floats), all sizes in
+**bytes** (ints), and all bandwidths internally in **bytes per
+nanosecond** (1 GB/s == 1 byte/ns when GB means 1e9 bytes, the
+convention the paper uses for fabric and memory bandwidth).
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+
+#: Cache block (cache line) size in bytes; fixed by Table 2 of the paper.
+CACHE_BLOCK = 64
+
+#: One gigahertz expressed in cycles per nanosecond.
+GHZ = 1.0
+
+
+def cycles_to_ns(cycles: float, freq_ghz: float) -> float:
+    """Convert a cycle count at ``freq_ghz`` GHz to nanoseconds."""
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return cycles / freq_ghz
+
+
+def ns_to_cycles(ns: float, freq_ghz: float) -> float:
+    """Convert nanoseconds to cycles at ``freq_ghz`` GHz."""
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return ns * freq_ghz
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Convert GB/s (1e9 bytes per second) to bytes per nanosecond."""
+    if gbps < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {gbps}")
+    return gbps  # 1e9 B/s == 1 B/ns
+
+
+def bytes_per_ns_to_gbps(bpn: float) -> float:
+    """Convert bytes per nanosecond back to GB/s."""
+    if bpn < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {bpn}")
+    return bpn
+
+
+def blocks_in(size_bytes: int, block: int = CACHE_BLOCK) -> int:
+    """Number of cache blocks needed to hold ``size_bytes`` bytes."""
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    return (size_bytes + block - 1) // block

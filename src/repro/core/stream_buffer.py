@@ -1,0 +1,116 @@
+"""Stream buffers for address-range snooping (§4.1, Fig. 3).
+
+A stream buffer tracks the *window of vulnerability* of one SABRe: the
+consecutive cache blocks issued to the memory hierarchy before the
+object's version has been read.  Entries hold no data and no per-entry
+address — a block's slot is found by subtracting the buffer's base
+address (the hardware's "subtractor"), giving cheap indexed lookups
+instead of associative search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import SimulationError
+from repro.common.units import CACHE_BLOCK
+
+
+class StreamBuffer:
+    """One stream buffer: base address + bitvector of ``depth`` slots."""
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise SimulationError(f"stream buffer depth must be >= 1: {depth}")
+        self.depth = depth
+        self._base_block: Optional[int] = None
+        self._tracked = 0  # slots meaningful for the current SABRe
+        self._issued_bits = 0
+        self._received_bits = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._base_block is not None
+
+    def assign(self, base_addr: int, total_blocks: int) -> None:
+        """Bind this buffer to a SABRe's address range.
+
+        Only the first ``min(depth, total_blocks)`` blocks are tracked:
+        the unroll stage may not issue past the buffer's depth during
+        the window of vulnerability (§4.1), so deeper blocks can never
+        be in flight while the buffer matters.
+        """
+        if self.busy:
+            raise SimulationError("stream buffer already assigned")
+        if total_blocks < 1:
+            raise SimulationError(f"SABRe needs >= 1 block: {total_blocks}")
+        self._base_block = base_addr - (base_addr % CACHE_BLOCK)
+        self._tracked = min(self.depth, total_blocks)
+        self._issued_bits = 0
+        self._received_bits = 0
+
+    def release(self) -> None:
+        """Free the buffer (window over, SABRe aborted, or completed)."""
+        self._base_block = None
+        self._tracked = 0
+        self._issued_bits = 0
+        self._received_bits = 0
+
+    # ------------------------------------------------------------------
+    # the subtractor (§4.2): address -> slot index
+    # ------------------------------------------------------------------
+    def slot_of(self, block_addr: int) -> Optional[int]:
+        """Slot index for ``block_addr``, or None if outside the range."""
+        if self._base_block is None:
+            return None
+        delta = block_addr - self._base_block
+        if delta < 0 or delta % CACHE_BLOCK:
+            return None
+        slot = delta // CACHE_BLOCK
+        if slot >= self._tracked:
+            return None
+        return slot
+
+    # ------------------------------------------------------------------
+    # issue / reply tracking
+    # ------------------------------------------------------------------
+    def can_issue(self, slot: int) -> bool:
+        """Unroll-stage check: is there a free slot for this block?"""
+        return self.busy and 0 <= slot < self._tracked
+
+    def mark_issued(self, slot: int) -> None:
+        if not self.can_issue(slot):
+            raise SimulationError(f"slot {slot} not issuable")
+        self._issued_bits |= 1 << slot
+
+    def mark_received(self, block_addr: int) -> bool:
+        """Record a data reply; True if it matched this buffer."""
+        slot = self.slot_of(block_addr)
+        if slot is None:
+            return False
+        self._received_bits |= 1 << slot
+        return True
+
+    def is_issued(self, slot: int) -> bool:
+        return bool(self._issued_bits >> slot & 1)
+
+    def is_received(self, slot: int) -> bool:
+        return bool(self._received_bits >> slot & 1)
+
+    @property
+    def tracked_slots(self) -> int:
+        return self._tracked
+
+    @property
+    def base_block(self) -> Optional[int]:
+        return self._base_block
+
+    def matches(self, block_addr: int) -> bool:
+        """Snoop check: does an invalidation hit our tracked range?"""
+        return self.slot_of(block_addr) is not None
+
+    def is_base(self, block_addr: int) -> bool:
+        return self.busy and block_addr == self._base_block

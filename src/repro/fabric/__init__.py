@@ -1,0 +1,6 @@
+"""Inter-node network: packets, links, and the rack fabric (Table 2)."""
+
+from repro.fabric.network import Fabric, Link
+from repro.fabric.packets import Packet, PacketKind
+
+__all__ = ["Fabric", "Link", "Packet", "PacketKind"]

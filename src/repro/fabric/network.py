@@ -1,0 +1,104 @@
+"""Point-to-point lossless fabric between soNUMA nodes.
+
+Table 2: fixed 35 ns latency per hop, 100 GBps links.  The evaluated
+system is two directly connected nodes (one hop); larger topologies
+route along a ring of nodes with one hop per traversed link, which is
+enough for the paper's latency model ("fixed latency per hop").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.common.config import FabricConfig
+from repro.common.errors import ConfigError
+from repro.fabric.packets import Packet
+from repro.sim.engine import Simulator
+from repro.sim.resources import BandwidthServer
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Link:
+    """One direction of a node-to-node link: serialization at the link
+    bandwidth plus fixed propagation per hop."""
+
+    def __init__(
+        self, sim: Simulator, cfg: FabricConfig, hops: int = 1, name: str = ""
+    ):
+        if hops < 1:
+            raise ConfigError(f"link needs >= 1 hop, got {hops}")
+        self.sim = sim
+        self.cfg = cfg
+        self.hops = hops
+        self.server = BandwidthServer(sim, cfg.link_gbps, name)
+        self.packets_sent = 0
+
+    def latency_floor_ns(self) -> float:
+        return self.hops * self.cfg.hop_latency_ns
+
+    def send(self, packet: Packet, deliver: PacketHandler) -> float:
+        """Enqueue ``packet``; ``deliver`` runs at arrival time.
+
+        Returns the arrival time.
+        """
+        self.packets_sent += 1
+        wire = packet.wire_bytes(self.cfg.header_bytes)
+        arrival = self.server.request(wire, self.latency_floor_ns())
+        self.sim.call_at(arrival, lambda: deliver(packet))
+        return arrival
+
+
+class Fabric:
+    """All-pairs connectivity for a small rack of nodes.
+
+    Each ordered node pair gets a dedicated link whose hop count is the
+    ring distance between the nodes (2 nodes -> always 1 hop, matching
+    the paper's directly-connected evaluation).
+    """
+
+    def __init__(self, sim: Simulator, cfg: FabricConfig, nodes: int):
+        if nodes < 1:
+            raise ConfigError(f"fabric needs >= 1 node, got {nodes}")
+        self.sim = sim
+        self.cfg = cfg
+        self.nodes = nodes
+        self._links: Dict[tuple[int, int], Link] = {}
+        self._handlers: Dict[int, PacketHandler] = {}
+
+    def attach(self, node_id: int, handler: PacketHandler) -> None:
+        """Register the packet sink for one node's NI."""
+        if not 0 <= node_id < self.nodes:
+            raise ConfigError(f"node {node_id} outside fabric of {self.nodes}")
+        self._handlers[node_id] = handler
+
+    def _ring_hops(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 1
+        forward = (dst - src) % self.nodes
+        backward = (src - dst) % self.nodes
+        return max(1, min(forward, backward))
+
+    def link(self, src: int, dst: int) -> Link:
+        key = (src, dst)
+        link = self._links.get(key)
+        if link is None:
+            link = Link(
+                self.sim,
+                self.cfg,
+                hops=self._ring_hops(src, dst),
+                name=f"link{src}->{dst}",
+            )
+            self._links[key] = link
+        return link
+
+    def send(self, packet: Packet) -> float:
+        """Route ``packet`` to its destination node's handler."""
+        handler = self._handlers.get(packet.dst_node)
+        if handler is None:
+            raise ConfigError(f"no handler attached for node {packet.dst_node}")
+        return self.link(packet.src_node, packet.dst_node).send(packet, handler)
+
+    def packets_on(self, src: int, dst: int) -> int:
+        link = self._links.get((src, dst))
+        return link.packets_sent if link else 0

@@ -1,0 +1,5 @@
+"""Experiment harness: one module per paper figure/table."""
+
+from repro.harness.report import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,77 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    sabres-experiments fig7a            # full-size run
+    sabres-experiments fig8 --scale 0.3 # faster, smaller windows
+    sabres-experiments all --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.harness.fig1 import run_fig1
+from repro.harness.fig7 import run_fig7a, run_fig7b
+from repro.harness.fig8 import run_fig8
+from repro.harness.fig9 import run_fig9a, run_fig9b
+from repro.harness.fig10 import run_fig10
+from repro.harness.report import format_table
+from repro.harness.tables import table1, table2_rows
+
+_FIGURES: Dict[str, Callable] = {
+    "fig1": run_fig1,
+    "fig7a": run_fig7a,
+    "fig7b": run_fig7b,
+    "fig8": run_fig8,
+    "fig9a": run_fig9a,
+    "fig9b": run_fig9b,
+    "fig10": run_fig10,
+}
+
+
+def run_experiment(name: str, scale: float) -> str:
+    if name == "table1":
+        return table1()
+    if name == "table2":
+        headers, rows = table2_rows()
+        return format_table(headers, rows)
+    headers, rows = _FIGURES[name](scale=scale)
+    return format_table(headers, rows)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sabres-experiments",
+        description="Regenerate the SABRes paper's tables and figures.",
+    )
+    choices = ["table1", "table2", *sorted(_FIGURES), "all"]
+    parser.add_argument("experiment", choices=choices)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="measurement-window scale factor (smaller = faster, noisier)",
+    )
+    args = parser.parse_args(argv)
+
+    names = (
+        ["table1", "table2", *sorted(_FIGURES)]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        start = time.time()
+        output = run_experiment(name, args.scale)
+        elapsed = time.time() - start
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Figure 1: end-to-end latency breakdown of atomic remote object reads
+using FaRM's per-cache-line-versions mechanism over soNUMA.
+
+The paper's claim: the software atomicity check (version stripping) is
+~10 % of end-to-end latency for 128 B objects but scales nearly
+linearly with object size, reaching ~half of the end-to-end latency
+for 8 KB objects, while the soNUMA transfer itself scales sublinearly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.common import objects_for_memory_residency
+from repro.harness.report import scaled_duration
+from repro.objstore.farm import FarmConfig, run_farm
+from repro.workloads.generators import FIG1_SIZES
+
+HEADERS = (
+    "object_size",
+    "transfer_ns",
+    "framework_app_ns",
+    "stripping_ns",
+    "total_ns",
+    "stripping_share",
+)
+
+
+def run_fig1(
+    scale: float = 1.0, sizes: Sequence[int] = FIG1_SIZES, seed: int = 1
+) -> Tuple[Sequence[str], List[Dict]]:
+    """One FaRM reader, baseline (per-cache-line versions) build."""
+    rows = []
+    for size in sizes:
+        cfg = FarmConfig(
+            use_sabre=False,
+            object_size=size,
+            n_objects=objects_for_memory_residency(size),
+            readers=1,
+            duration_ns=scaled_duration(150_000.0, scale),
+            warmup_ns=10_000.0,
+            seed=seed,
+        )
+        result = run_farm(cfg)
+        means = result.breakdown.means()
+        framework_app = means["framework"] + means["application"]
+        total = means["transfer"] + framework_app + means["stripping"]
+        rows.append(
+            {
+                "object_size": size,
+                "transfer_ns": means["transfer"],
+                "framework_app_ns": framework_app,
+                "stripping_ns": means["stripping"],
+                "total_ns": total,
+                "stripping_share": means["stripping"] / total,
+            }
+        )
+    return HEADERS, rows

@@ -1,0 +1,84 @@
+"""Figure 7: microbenchmark latency (7a) and throughput (7b).
+
+7a (one thread, synchronous ops, remote data memory-resident):
+  * single-block transfers: remote reads == both LightSABRes variants;
+  * LightSABRes-no-speculation pays the serialized version read
+    (~one memory access, up to ~40 % for two-block SABRes);
+  * LightSABRes match remote reads, with a small gap above 2 KB from
+    pinning each SABRe to a single R2P2.
+
+7b (16 threads, asynchronous ops): remote reads and LightSABRes have
+identical throughput curves, reaching the fabric-limited peak.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import ClusterConfig, SabreMode
+from repro.harness.common import objects_for_memory_residency
+from repro.harness.report import scaled_duration
+from repro.workloads.generators import FIG7_SIZES
+from repro.workloads.microbench import MicrobenchConfig, run_microbench
+
+HEADERS_7A = ("object_size", "remote_read_ns", "sabre_no_spec_ns", "sabre_ns")
+HEADERS_7B = ("object_size", "remote_read_gbps", "sabre_gbps")
+
+_VARIANTS_7A = (
+    ("remote_read_ns", "remote_read", SabreMode.SPECULATIVE),
+    ("sabre_no_spec_ns", "sabre", SabreMode.NO_SPECULATION),
+    ("sabre_ns", "sabre", SabreMode.SPECULATIVE),
+)
+
+
+def run_fig7a(
+    scale: float = 1.0, sizes: Sequence[int] = FIG7_SIZES, seed: int = 5
+) -> Tuple[Sequence[str], List[Dict]]:
+    rows = []
+    for size in sizes:
+        row: Dict = {"object_size": size}
+        for column, mechanism, mode in _VARIANTS_7A:
+            cfg = MicrobenchConfig(
+                mechanism=mechanism,
+                object_size=size,
+                n_objects=objects_for_memory_residency(size),
+                readers=1,
+                writers=0,
+                duration_ns=scaled_duration(60_000.0, scale),
+                warmup_ns=5_000.0,
+                seed=seed,
+                cluster=ClusterConfig().with_sabre_mode(mode),
+            )
+            row[column] = run_microbench(cfg).mean_transfer_latency_ns
+        rows.append(row)
+    return HEADERS_7A, rows
+
+
+def run_fig7b(
+    scale: float = 1.0,
+    sizes: Sequence[int] = FIG7_SIZES,
+    seed: int = 5,
+    readers: int = 16,
+    window: int = 8,
+) -> Tuple[Sequence[str], List[Dict]]:
+    rows = []
+    for size in sizes:
+        row: Dict = {"object_size": size}
+        for column, mechanism in (
+            ("remote_read_gbps", "remote_read"),
+            ("sabre_gbps", "sabre"),
+        ):
+            cfg = MicrobenchConfig(
+                mechanism=mechanism,
+                object_size=size,
+                n_objects=objects_for_memory_residency(size),
+                readers=readers,
+                writers=0,
+                async_window=window,
+                duration_ns=scaled_duration(80_000.0, scale),
+                warmup_ns=10_000.0,
+                seed=seed,
+            )
+            row[column] = run_microbench(cfg).goodput_gbps
+        rows.append(row)
+    return HEADERS_7B, rows

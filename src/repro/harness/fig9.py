@@ -1,0 +1,87 @@
+"""Figure 9: FaRM key-value store, baseline vs LightSABRes.
+
+9a: end-to-end lookup latency breakdown (one reader).  LightSABRes
+remove stripping and buffer management entirely and shrink the
+framework component (smaller instruction footprint); the application
+component grows (the object is LLC- rather than L1-resident).  Net:
+-26 % at 128 B to -52 % at 8 KB (paper: 35 % and 52 %).
+
+9b: throughput with 15 reader threads: +30-60 % depending on size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.common import objects_for_memory_residency
+from repro.harness.report import scaled_duration
+from repro.objstore.farm import FarmConfig, run_farm
+from repro.workloads.generators import FIG1_SIZES
+
+HEADERS_9A = (
+    "object_size",
+    "build",
+    "transfer_ns",
+    "framework_ns",
+    "stripping_ns",
+    "application_ns",
+    "total_ns",
+)
+HEADERS_9B = ("object_size", "percl_gbps", "sabre_gbps", "improvement")
+
+
+def _farm_cfg(size: int, use_sabre: bool, readers: int, scale: float, seed: int):
+    return FarmConfig(
+        use_sabre=use_sabre,
+        object_size=size,
+        n_objects=objects_for_memory_residency(size),
+        readers=readers,
+        duration_ns=scaled_duration(150_000.0, scale),
+        warmup_ns=10_000.0,
+        seed=seed,
+    )
+
+
+def run_fig9a(
+    scale: float = 1.0, sizes: Sequence[int] = FIG1_SIZES, seed: int = 3
+) -> Tuple[Sequence[str], List[Dict]]:
+    rows = []
+    for size in sizes:
+        for use_sabre in (False, True):
+            result = run_farm(_farm_cfg(size, use_sabre, 1, scale, seed))
+            means = result.breakdown.means()
+            rows.append(
+                {
+                    "object_size": size,
+                    "build": "sabre" if use_sabre else "percl",
+                    "transfer_ns": means["transfer"],
+                    "framework_ns": means["framework"],
+                    "stripping_ns": means["stripping"],
+                    "application_ns": means["application"],
+                    "total_ns": result.mean_latency_ns,
+                }
+            )
+    return HEADERS_9A, rows
+
+
+def run_fig9b(
+    scale: float = 1.0,
+    sizes: Sequence[int] = FIG1_SIZES,
+    seed: int = 3,
+    readers: int = 15,
+) -> Tuple[Sequence[str], List[Dict]]:
+    rows = []
+    for size in sizes:
+        percl = run_farm(_farm_cfg(size, False, readers, scale, seed))
+        sabre = run_farm(_farm_cfg(size, True, readers, scale, seed))
+        rows.append(
+            {
+                "object_size": size,
+                "percl_gbps": percl.goodput_gbps,
+                "sabre_gbps": sabre.goodput_gbps,
+                "improvement": sabre.goodput_gbps / percl.goodput_gbps - 1.0
+                if percl.goodput_gbps > 0
+                else float("nan"),
+            }
+        )
+    return HEADERS_9B, rows

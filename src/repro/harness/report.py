@@ -1,0 +1,33 @@
+"""Plain-text result tables for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: List[Dict[str, Any]]) -> str:
+    """Render dict rows as an aligned text table (column order follows
+    ``headers``; missing cells render empty)."""
+    cells = [[_fmt(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(c[i]) for c in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row_cells in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def scaled_duration(base_ns: float, scale: float, floor_ns: float = 30_000.0) -> float:
+    """Scale an experiment duration, keeping a useful minimum window."""
+    return max(floor_ns, base_ns * scale)

@@ -1,0 +1,77 @@
+"""Cache-block and page address arithmetic.
+
+Addresses are plain ints (byte addresses).  A *block address* is the
+byte address of the first byte of a 64 B cache block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.common.units import CACHE_BLOCK
+
+
+def block_base(addr: int, block: int = CACHE_BLOCK) -> int:
+    """Byte address of the cache block containing ``addr``."""
+    return addr - (addr % block)
+
+
+def block_index(addr: int, block: int = CACHE_BLOCK) -> int:
+    """Ordinal index of the cache block containing ``addr``."""
+    return addr // block
+
+
+def block_span(addr: int, size: int, block: int = CACHE_BLOCK) -> List[int]:
+    """Block addresses of every cache block touched by [addr, addr+size)."""
+    if size <= 0:
+        return []
+    first = block_base(addr, block)
+    last = block_base(addr + size - 1, block)
+    return list(range(first, last + block, block))
+
+
+def crosses_page_boundary(addr: int, size: int, page: int) -> bool:
+    """True if [addr, addr+size) straddles a page boundary."""
+    if size <= 0:
+        return False
+    return (addr // page) != ((addr + size - 1) // page)
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A contiguous byte range: the footprint of one object / SABRe."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size < 0:
+            raise ValueError(f"invalid range: base={self.base} size={self.size}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def blocks(self, block: int = CACHE_BLOCK) -> List[int]:
+        return block_span(self.base, self.size, block)
+
+    def num_blocks(self, block: int = CACHE_BLOCK) -> int:
+        if self.size == 0:
+            return 0
+        return (
+            block_index(self.end - 1, block) - block_index(self.base, block) + 1
+        )
+
+    def iter_blocks(self, block: int = CACHE_BLOCK) -> Iterator[int]:
+        if self.size == 0:
+            return
+        first = block_base(self.base, block)
+        last = block_base(self.end - 1, block)
+        yield from range(first, last + block, block)

@@ -1,0 +1,63 @@
+"""Byte-accurate backing store for each node's physical memory.
+
+The object stores, version protocols, and transfer payloads operate on
+real bytes so that atomicity violations (torn reads) are observable
+facts, not modeling assumptions.  Allocation is a simple bump allocator
+over contiguous regions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class PhysicalMemory:
+    """Sparse physical memory made of bump-allocated regions."""
+
+    def __init__(self, base: int = 0x10000, alignment: int = 64):
+        self._next = base
+        self._alignment = alignment
+        self._starts: List[int] = []
+        self._regions: List[Tuple[int, bytearray]] = []
+
+    def allocate(self, size: int, align: int = 0) -> int:
+        """Allocate ``size`` zeroed bytes; returns the base address."""
+        if size <= 0:
+            raise SimulationError(f"allocation size must be positive: {size}")
+        align = align or self._alignment
+        base = self._next
+        if base % align:
+            base += align - (base % align)
+        self._next = base + size
+        self._starts.append(base)
+        self._regions.append((base, bytearray(size)))
+        return base
+
+    def _locate(self, addr: int, size: int) -> Tuple[bytearray, int]:
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            raise SimulationError(f"access to unmapped address {addr:#x}")
+        base, buf = self._regions[idx]
+        offset = addr - base
+        if offset + size > len(buf):
+            raise SimulationError(
+                f"access [{addr:#x}, +{size}) overruns region at {base:#x}"
+            )
+        return buf, offset
+
+    def read(self, addr: int, size: int) -> bytes:
+        buf, off = self._locate(addr, size)
+        return bytes(buf[off : off + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        buf, off = self._locate(addr, len(data))
+        buf[off : off + len(data)] = data
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, (value & (2**64 - 1)).to_bytes(8, "little"))

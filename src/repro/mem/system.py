@@ -1,0 +1,264 @@
+"""Per-chip memory system: LLC + L1 residency, DRAM channels, and a
+behavioral coherence directory with invalidation snooping.
+
+This is the integration point LightSABRes relies on (§3.3): the R2P2
+subscribes to the address range it is reading, and the directory
+delivers an invalidation callback whenever
+
+* a core *writes* a subscribed block (a true potential conflict), or
+* a subscribed block is *evicted* from the chip (the false-alarm case
+  that motivates the validate stage of §4.2).
+
+Write-triggered invalidations are delivered synchronously with the
+byte mutation, mirroring invalidate-before-write MESI ordering, so a
+snooper can never observe new data without having been invalidated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from enum import Enum
+from typing import Callable, Dict, Optional, Set
+
+from repro.common.config import NodeConfig
+from repro.common.units import CACHE_BLOCK, gbps_to_bytes_per_ns
+from repro.mem.backing import PhysicalMemory
+from repro.mem.cache import LruCache
+from repro.noc.mesh import Mesh
+from repro.sim.engine import Simulator
+from repro.sim.resources import MultiChannel
+
+
+class AccessTier(Enum):
+    """Where a block read was served from."""
+
+    L1 = "l1"
+    LLC = "llc"
+    MEM = "mem"
+
+
+class InvalidationCause(Enum):
+    WRITE = "write"
+    EVICTION = "eviction"
+
+
+#: Snooper callback signature: (block_addr, cause).
+SnoopCallback = Callable[[int, InvalidationCause], None]
+
+
+class ChipMemorySystem:
+    """Memory hierarchy of one 16-core chip (Table 2)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: NodeConfig,
+        mesh: Mesh,
+        phys: Optional[PhysicalMemory] = None,
+        name: str = "chip",
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.mesh = mesh
+        self.phys = phys if phys is not None else PhysicalMemory()
+        self.name = name
+
+        caches = cfg.caches
+        self.llc = LruCache(caches.llc_blocks, f"{name}.llc")
+        self._l1: Dict[int, LruCache] = {}
+        self._owner: Dict[int, int] = {}  # dirty block -> owning core
+        self.dram = MultiChannel(
+            sim,
+            cfg.memory.channels,
+            gbps_to_bytes_per_ns(cfg.memory.channel_gbps),
+            interleave_bytes=caches.block_bytes,
+            name=f"{name}.dram",
+        )
+        self._subs: Dict[int, Set[SnoopCallback]] = defaultdict(set)
+        self._l1_lat = caches.l1_latency_cycles / cfg.cores.freq_ghz
+        self._llc_lat = caches.llc_latency_cycles / cfg.cores.freq_ghz
+        self.reads = 0
+        self.writes = 0
+        self.invalidations_sent = 0
+
+    # ------------------------------------------------------------------
+    # snooping
+    # ------------------------------------------------------------------
+    def subscribe(self, block_addr: int, snoop: SnoopCallback) -> None:
+        """Register interest in coherence events for one block."""
+        self._subs[block_addr].add(snoop)
+
+    def unsubscribe(self, block_addr: int, snoop: SnoopCallback) -> None:
+        subs = self._subs.get(block_addr)
+        if subs is None:
+            return
+        subs.discard(snoop)
+        if not subs:
+            del self._subs[block_addr]
+
+    def _notify(self, block_addr: int, cause: InvalidationCause) -> None:
+        subs = self._subs.get(block_addr)
+        if not subs:
+            return
+        self.invalidations_sent += len(subs)
+        for snoop in list(subs):
+            snoop(block_addr, cause)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read_block(
+        self, agent_tile: int, block_addr: int, *, allocate: bool = True
+    ) -> tuple[float, AccessTier]:
+        """Read one cache block on behalf of an agent at ``agent_tile``.
+
+        Returns ``(completion_time, tier)``.  Queuing at the DRAM
+        channels is modeled; the caller schedules its continuation at
+        ``completion_time`` and reads bytes from :attr:`phys` then.
+        """
+        self.reads += 1
+        block = self.cfg.caches.block_bytes
+        baddr = block_addr - (block_addr % block)
+        bank = self.mesh.llc_bank_tile(baddr)
+        t = self.sim.now + self.mesh.latency_ns(agent_tile, bank)
+
+        owner = self._owner.get(baddr)
+        if owner is not None:
+            # Dirty in a core's L1: directory forwards, owner downgrades
+            # M->S and the LLC picks up the (still dirty) copy.
+            owner_tile = self.mesh.core_tile(owner)
+            t += self._llc_lat
+            t += self.mesh.latency_ns(bank, owner_tile)
+            t += self._l1_lat
+            t += self.mesh.latency_ns(owner_tile, agent_tile, block)
+            l1 = self._l1.get(owner)
+            if l1 is not None:
+                l1.mark_clean(baddr)
+            del self._owner[baddr]
+            self._llc_insert(baddr, dirty=True)
+            return t, AccessTier.L1
+
+        if self.llc.touch(baddr):
+            t += self._llc_lat
+            t += self.mesh.latency_ns(bank, agent_tile, block)
+            return t, AccessTier.LLC
+
+        # LLC miss: go to memory through the block's home channel.
+        mem = self.cfg.memory
+        channel = self.dram.channel_for(baddr)
+        channel_idx = self.dram.channels.index(channel)
+        mc_tile = self.mesh.mc_tile(channel_idx)
+        t += self._llc_lat  # tag lookup discovering the miss
+        t += self.mesh.latency_ns(bank, mc_tile)
+        # Channel occupancy (queuing + 64B burst), then the DRAM array
+        # latency and controller overhead.
+        t = channel.request_at(
+            t, block, mem.latency_ns + mem.controller_overhead_ns
+        )
+        t += self.mesh.latency_ns(mc_tile, agent_tile, block)
+        if allocate:
+            self._llc_insert(baddr, dirty=False)
+        return t, AccessTier.MEM
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Functional (zero-time) read of the backing bytes."""
+        return self.phys.read(addr, size)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write_block(
+        self, core: int, block_addr: int, data: Optional[bytes] = None
+    ) -> float:
+        """A core writes one block; returns the store latency (ns).
+
+        Byte mutation and invalidation delivery happen *now*,
+        synchronously, preserving invalidate-before-write ordering.
+        """
+        self.writes += 1
+        block = self.cfg.caches.block_bytes
+        baddr = block_addr - (block_addr % block)
+        if data is not None:
+            if len(data) > block:
+                raise ValueError(
+                    f"write of {len(data)} bytes exceeds one block"
+                )
+            self.phys.write(block_addr, data)
+
+        prev = self._owner.get(baddr)
+        l1 = self._l1_for(core)
+        if prev == core and l1.contains(baddr):
+            latency = self._l1_lat  # write hit on own M copy
+        else:
+            # Upgrade: invalidate any other copy, take ownership.
+            if prev is not None and prev != core:
+                other = self._l1.get(prev)
+                if other is not None:
+                    other.invalidate(baddr)
+            bank = self.mesh.llc_bank_tile(baddr)
+            core_tile = self.mesh.core_tile(core)
+            latency = (
+                self.mesh.latency_ns(core_tile, bank) * 2 + self._llc_lat
+            )
+            self.llc.invalidate(baddr)  # LLC copy is now stale
+        self._owner[baddr] = core
+        evicted = l1.insert(baddr, dirty=True)
+        if evicted is not None:
+            self._l1_victim(evicted)
+        self._notify(baddr, InvalidationCause.WRITE)
+        return latency
+
+    def write_bytes(self, core: int, addr: int, data: bytes) -> float:
+        """Write a byte range block by block; returns total latency."""
+        block = self.cfg.caches.block_bytes
+        total = 0.0
+        offset = 0
+        while offset < len(data):
+            baddr = (addr + offset) - ((addr + offset) % block)
+            chunk_end = min(len(data), offset + (baddr + block - (addr + offset)))
+            total += self.write_block(
+                core, addr + offset, data[offset:chunk_end]
+            )
+            offset = chunk_end
+        return total
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _l1_for(self, core: int) -> LruCache:
+        l1 = self._l1.get(core)
+        if l1 is None:
+            l1 = LruCache(self.cfg.caches.l1d_blocks, f"{self.name}.l1[{core}]")
+            self._l1[core] = l1
+        return l1
+
+    def _l1_victim(self, evicted: tuple[int, bool]) -> None:
+        eaddr, dirty = evicted
+        if self._owner.get(eaddr) is not None and dirty:
+            del self._owner[eaddr]
+        self._llc_insert(eaddr, dirty=dirty)
+
+    def _llc_insert(self, baddr: int, dirty: bool) -> None:
+        evicted = self.llc.insert(baddr, dirty=dirty)
+        if evicted is None:
+            return
+        eaddr, edirty = evicted
+        if edirty:
+            # Write the victim back to memory (consumes channel bandwidth).
+            self.dram.request(eaddr, self.cfg.caches.block_bytes)
+        self._notify(eaddr, InvalidationCause.EVICTION)
+
+    # ------------------------------------------------------------------
+    # introspection helpers
+    # ------------------------------------------------------------------
+    def tier_of(self, block_addr: int) -> AccessTier:
+        block = self.cfg.caches.block_bytes
+        baddr = block_addr - (block_addr % block)
+        if baddr in self._owner:
+            return AccessTier.L1
+        if self.llc.contains(baddr):
+            return AccessTier.LLC
+        return AccessTier.MEM
+
+    def subscriber_count(self, block_addr: int) -> int:
+        return len(self._subs.get(block_addr, ()))

@@ -1,0 +1,5 @@
+"""On-chip 2D mesh interconnect (Table 2)."""
+
+from repro.noc.mesh import Mesh
+
+__all__ = ["Mesh"]

@@ -1,0 +1,67 @@
+"""2D mesh geometry, tile placement, and hop latency.
+
+The modeled chip (Fig. 6) is a 4x4 tile mesh: one core + one LLC bank
+per tile, four memory controllers on the left/right edges, and four
+RMC backends (RGP/RCP backend + R2P2) along the chip edge.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import NocConfig
+from repro.common.errors import ConfigError
+from repro.common.units import CACHE_BLOCK
+
+
+class Mesh:
+    """Tile coordinates and XY-routing hop counts for one chip."""
+
+    def __init__(self, cfg: NocConfig):
+        self.cfg = cfg
+        self.tiles = cfg.width * cfg.height
+        if self.tiles < 1:
+            raise ConfigError("mesh must have at least one tile")
+
+    # -- geometry ---------------------------------------------------------
+    def coord(self, tile: int) -> tuple[int, int]:
+        if not 0 <= tile < self.tiles:
+            raise ConfigError(f"tile {tile} outside mesh of {self.tiles}")
+        return tile % self.cfg.width, tile // self.cfg.width
+
+    def hops(self, src_tile: int, dst_tile: int) -> int:
+        sx, sy = self.coord(src_tile)
+        dx, dy = self.coord(dst_tile)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency_ns(self, src_tile: int, dst_tile: int, payload_bytes: int = 0) -> float:
+        """One-way message latency: per-hop delay plus link serialization
+        for payloads wider than one flit (16 B links)."""
+        hop = self.hops(src_tile, dst_tile) * self.cfg.hop_ns
+        if payload_bytes <= self.cfg.link_bytes:
+            return hop
+        flits = (payload_bytes + self.cfg.link_bytes - 1) // self.cfg.link_bytes
+        return hop + (flits - 1) / self.cfg.freq_ghz
+
+    # -- placement --------------------------------------------------------
+    def core_tile(self, core: int) -> int:
+        return core % self.tiles
+
+    def llc_bank_tile(self, block_addr: int) -> int:
+        """Block-interleaved NUCA banks, one per tile (Table 2)."""
+        return (block_addr // CACHE_BLOCK) % self.tiles
+
+    def mc_tile(self, channel: int) -> int:
+        """Memory controllers on the left/right edge columns."""
+        edge_tiles = [
+            t
+            for t in range(self.tiles)
+            if self.coord(t)[0] in (0, self.cfg.width - 1)
+        ]
+        return edge_tiles[channel % len(edge_tiles)]
+
+    def rmc_tile(self, backend: int) -> int:
+        """RMC backends / R2P2s spread along the top edge (Fig. 6)."""
+        top_row = list(range(self.cfg.width))
+        return top_row[backend % len(top_row)]
+
+    def mean_hops_to(self, dst_tile: int) -> float:
+        return sum(self.hops(t, dst_tile) for t in range(self.tiles)) / self.tiles

@@ -1,0 +1,20 @@
+"""FaRM-like distributed object store: layouts, allocation, KV."""
+
+from repro.objstore.layout import (
+    DATA_PER_LINE,
+    ChecksumLayout,
+    ObjectLayout,
+    PerCacheLineLayout,
+    RawLayout,
+)
+from repro.objstore.store import ObjectHandle, ObjectStore
+
+__all__ = [
+    "DATA_PER_LINE",
+    "ChecksumLayout",
+    "ObjectHandle",
+    "ObjectLayout",
+    "ObjectStore",
+    "PerCacheLineLayout",
+    "RawLayout",
+]

@@ -1,0 +1,164 @@
+"""Object store: allocation, functional access, and writer update plans.
+
+The store owns a region of a node's physical memory and places objects
+in it (64 B-aligned, so distinct objects never share a cache block).
+Besides zero-time functional reads/writes (used for setup and ground
+truth), it produces *update plans*: the exact block-granularity write
+sequence a writer core performs under the odd/even version protocol
+(§4.2) — header locked first, data blocks next, commit version last.
+Timed writers replay these steps through the chip memory system so
+that coherence invalidations fire in the right order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.units import CACHE_BLOCK
+from repro.mem.address import AddressRange
+from repro.mem.backing import PhysicalMemory
+from repro.objstore.layout import (
+    ObjectLayout,
+    StripResult,
+    commit_version,
+    is_locked,
+    lock_version,
+)
+
+VERSION_BYTES = 8
+
+#: One step of an update plan: (address, bytes to store).
+WriteStep = Tuple[int, bytes]
+
+
+@dataclass(frozen=True)
+class ObjectHandle:
+    """Placement of one object inside a store's region."""
+
+    obj_id: int
+    base_addr: int
+    data_len: int
+    wire_size: int
+
+    @property
+    def range(self) -> AddressRange:
+        return AddressRange(self.base_addr, self.wire_size)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.range.num_blocks()
+
+
+class ObjectStore:
+    """A node-local object store with a fixed layout."""
+
+    def __init__(
+        self,
+        phys: PhysicalMemory,
+        layout: ObjectLayout,
+        name: str = "store",
+    ):
+        self.phys = phys
+        self.layout = layout
+        self.name = name
+        self._objects: Dict[int, ObjectHandle] = {}
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def create(self, obj_id: int, data: bytes, version: int = 0) -> ObjectHandle:
+        """Allocate and initialize an object with a committed image."""
+        if obj_id in self._objects:
+            raise SimulationError(f"object {obj_id} already exists")
+        if is_locked(version):
+            raise SimulationError("initial version must be even (committed)")
+        wire = self.layout.wire_size(len(data))
+        base = self.phys.allocate(max(wire, CACHE_BLOCK), align=CACHE_BLOCK)
+        handle = ObjectHandle(obj_id, base, len(data), wire)
+        self._objects[obj_id] = handle
+        self.phys.write(base, self.layout.pack(version, data))
+        return handle
+
+    def handle(self, obj_id: int) -> ObjectHandle:
+        try:
+            return self._objects[obj_id]
+        except KeyError:
+            raise SimulationError(f"unknown object {obj_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def object_ids(self) -> List[int]:
+        return list(self._objects)
+
+    # ------------------------------------------------------------------
+    # functional access (zero simulated time)
+    # ------------------------------------------------------------------
+    def read_raw(self, obj_id: int) -> bytes:
+        h = self.handle(obj_id)
+        return self.phys.read(h.base_addr, h.wire_size)
+
+    def read(self, obj_id: int) -> StripResult:
+        h = self.handle(obj_id)
+        return self.layout.unpack(self.read_raw(obj_id), h.data_len)
+
+    def version_addr(self, obj_id: int) -> int:
+        return self.handle(obj_id).base_addr + self.layout.version_offset
+
+    def current_version(self, obj_id: int) -> int:
+        return self.phys.read_u64(self.version_addr(obj_id))
+
+    def write(self, obj_id: int, data: bytes) -> int:
+        """Functional committed update; returns the new version."""
+        for _addr, chunk in self.update_steps(obj_id, data)[0]:
+            self.phys.write(_addr, chunk)
+        return self.current_version(obj_id)
+
+    # ------------------------------------------------------------------
+    # writer protocol
+    # ------------------------------------------------------------------
+    def update_steps(
+        self, obj_id: int, data: bytes
+    ) -> Tuple[List[WriteStep], int]:
+        """Block-granularity write plan for one committed update.
+
+        Step order implements §4.2's contract: (1) header version goes
+        odd (the base-block write every reader's snoop keys on), (2)
+        each block of the new image is stored, (3) the header version
+        goes even.  Returns ``(steps, commit_version)``.
+        """
+        h = self.handle(obj_id)
+        if len(data) != h.data_len:
+            raise SimulationError(
+                f"object {obj_id} holds {h.data_len} bytes; "
+                f"updates must preserve the size (got {len(data)})"
+            )
+        current = self.current_version(obj_id)
+        locked = lock_version(current)
+        committed = commit_version(locked)
+
+        image = bytearray(self.layout.pack(committed, data))
+        vo = self.layout.version_offset
+        image[vo : vo + VERSION_BYTES] = locked.to_bytes(8, "little")
+
+        steps: List[WriteStep] = [
+            (h.base_addr + vo, locked.to_bytes(8, "little"))
+        ]
+        for off in range(0, len(image), CACHE_BLOCK):
+            steps.append((h.base_addr + off, bytes(image[off : off + CACHE_BLOCK])))
+        steps.append((h.base_addr + vo, committed.to_bytes(8, "little")))
+        return steps, committed
+
+    # ------------------------------------------------------------------
+    # region metadata (driver registration, §4.2)
+    # ------------------------------------------------------------------
+    def region_of(self, obj_id: int) -> AddressRange:
+        return self.handle(obj_id).range
+
+    def find_by_base(self, base_addr: int) -> Optional[ObjectHandle]:
+        for h in self._objects.values():
+            if h.base_addr == base_addr:
+                return h
+        return None

@@ -1,0 +1,217 @@
+"""Event loop, events, and generator-based processes."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.common.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    ``triggered`` means the outcome (value) has been decided and
+    dispatch is scheduled; ``dispatched`` means callbacks have run.
+    Callbacks added before dispatch are queued; callbacks added after
+    dispatch run on the next loop iteration.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_value", "_triggered", "_dispatched")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._triggered = False
+        self._dispatched = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._dispatched:
+            # Late subscribers run immediately (still inside the loop).
+            self.sim.call_later(0.0, lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger this event ``delay`` ns from now (default: now)."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim.call_later(delay, self._dispatch)
+        return self
+
+    def _dispatch(self) -> None:
+        self._dispatched = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim.call_later(delay, self._dispatch)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Drives a generator; itself an event that triggers on return."""
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]):
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        sim.call_later(0.0, lambda: self._step(None, None))
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None:
+            self._waiting_on = None
+        self.sim.call_later(0.0, lambda: self._step(None, Interrupt(cause)))
+
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wakeup (e.g. interrupted while waiting)
+        self._waiting_on = None
+        self._step(event.value, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._triggered:
+            return
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Events"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers when all child events have triggered."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        if not events:
+            self.succeed([])
+            return
+        for ev in events:
+            ev.add_callback(self._child_done)
+
+    def _child_done(self, _event: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self._triggered:
+            self.succeed()
+
+
+class Simulator:
+    """The event loop.  Time is in nanoseconds."""
+
+    __slots__ = ("_now", "_heap", "_seq", "_running")
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling -----------------------------------------------------
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at ``now + delay``; FIFO among equal times."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past: {when}")
+        self.call_later(when - self._now, fn)
+
+    # -- event / process factories ---------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution --------------------------------------------------------
+    def run(self, until: float = float("inf")) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the simulation time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                when, _seq, fn = heap[0]
+                if when > until:
+                    self._now = until
+                    break
+                heapq.heappop(heap)
+                self._now = when
+                fn()
+            else:
+                if until != float("inf"):
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled callback (inf if none)."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,6 @@
+"""soNUMA substrate: RMC pipelines, queue pairs, nodes, cluster, RPC."""
+
+from repro.sonuma.node import Cluster, SoNode
+from repro.sonuma.transfer import OpKind, TransferResult, TransferTimings
+
+__all__ = ["Cluster", "OpKind", "SoNode", "TransferResult", "TransferTimings"]

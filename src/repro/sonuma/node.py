@@ -1,0 +1,399 @@
+"""A soNUMA node (SoC + RMC) and the two-node cluster of the paper.
+
+Each node owns a 16-core chip model, physical memory, a split-NI RMC
+(per-core frontends folded into fixed WQ/CQ costs; four RGP/RCP
+backends and four R2P2s along the edge, Fig. 6), and a fabric
+attachment.  Remote reads unroll into cache-block requests at the
+source (§5); SABRes send a registration packet first and stay pinned
+to one destination R2P2 (§5.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.atomicity.locks import ReaderWriterLockTable
+from repro.common.config import ClusterConfig
+from repro.common.errors import ProtocolError, SimulationError
+from repro.common.units import CACHE_BLOCK, blocks_in
+from repro.core.r2p2 import R2P2Engine
+from repro.fabric.network import Fabric
+from repro.fabric.packets import (
+    Packet,
+    PacketKind,
+    cas_request,
+    read_request,
+    sabre_registration,
+    sabre_request,
+    write_request,
+)
+from repro.mem.backing import PhysicalMemory
+from repro.mem.system import ChipMemorySystem
+from repro.noc.mesh import Mesh
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import BandwidthServer
+from repro.sim.stats import Counter
+from repro.sonuma.transfer import (
+    OpKind,
+    SourceTransfer,
+    TransferResult,
+    TransferTimings,
+)
+
+
+class SoNode:
+    """One rack node: chip + memory + RMC + NI."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        cluster_cfg: ClusterConfig,
+        fabric: Fabric,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.cluster_cfg = cluster_cfg
+        self.cfg = cluster_cfg.node
+        self.fabric = fabric
+        self.phys = PhysicalMemory(base=0x100000 * (node_id + 1))
+        self.mesh = Mesh(self.cfg.noc)
+        self.chip = ChipMemorySystem(
+            sim, self.cfg, self.mesh, self.phys, name=f"node{node_id}"
+        )
+        self.lock_table = ReaderWriterLockTable()
+        self.counters = Counter()
+
+        backends = self.cfg.rmc.backends
+        self.r2p2s = [
+            R2P2Engine(
+                sim,
+                self.cfg,
+                self.chip,
+                node_id,
+                index=i,
+                tile=self.mesh.rmc_tile(i),
+                send_packet=self._send,
+                lock_table=self.lock_table,
+                counters=self.counters,
+            )
+            for i in range(backends)
+        ]
+        cycle = self.cfg.rmc.cycle_ns
+        self._rgp = [
+            BandwidthServer(sim, 1.0, f"n{node_id}.rgp[{i}]")
+            for i in range(backends)
+        ]
+        self._rcp = [
+            BandwidthServer(sim, 1.0, f"n{node_id}.rcp[{i}]")
+            for i in range(backends)
+        ]
+        self._rmc_cycle = cycle
+        self._transfers: Dict[int, SourceTransfer] = {}
+        self._completions: Dict[int, Event] = {}
+        self._tid = itertools.count(node_id << 32)
+        self._rpc_handler = None
+        fabric.attach(node_id, self._handle_packet)
+
+    # ------------------------------------------------------------------
+    # memory helpers
+    # ------------------------------------------------------------------
+    def alloc_buffer(self, size: int) -> int:
+        """Allocate a node-local buffer (e.g. a reader's landing zone)."""
+        return self.phys.allocate(max(size, CACHE_BLOCK), align=CACHE_BLOCK)
+
+    # ------------------------------------------------------------------
+    # one-sided operations (core-facing API)
+    # ------------------------------------------------------------------
+    def remote_read(
+        self, dst_node: int, remote_addr: int, size: int, local_addr: int
+    ) -> Event:
+        """Post a one-sided remote read; the returned event triggers
+        with a :class:`TransferResult` when the CQ entry is consumed."""
+        return self._post(OpKind.REMOTE_READ, dst_node, remote_addr, size, local_addr)
+
+    def sabre_read(
+        self, dst_node: int, remote_addr: int, size: int, local_addr: int
+    ) -> Event:
+        """Post a SABRe (single-site atomic bulk read)."""
+        return self._post(OpKind.SABRE, dst_node, remote_addr, size, local_addr)
+
+    def remote_write(self, dst_node: int, remote_addr: int, data: bytes) -> Event:
+        """Post a one-sided remote write (cache-block atomicity only)."""
+        return self._post(
+            OpKind.REMOTE_WRITE, dst_node, remote_addr, len(data), 0, payload=data
+        )
+
+    def remote_cas(
+        self, dst_node: int, remote_addr: int, expected: int, desired: int
+    ) -> Event:
+        """Post a remote compare-and-swap on one 64-bit word — the
+        cache-block-sized atomic RDMA offers (§1).  The completion's
+        ``success`` reports whether the swap happened and
+        ``cas_old_value`` the observed word."""
+        rmc = self.cfg.rmc
+        tid = next(self._tid)
+        transfer = SourceTransfer(
+            transfer_id=tid,
+            op=OpKind.REMOTE_CAS,
+            dst_node=dst_node,
+            remote_addr=remote_addr,
+            size_bytes=8,
+            local_addr=0,
+            total_blocks=1,
+            backend=tid % rmc.backends,
+        )
+        transfer.timings.posted = self.sim.now
+        self._transfers[tid] = transfer
+        completion = self.sim.event()
+        self._completions[tid] = completion
+        pickup = rmc.wq_post_ns + rmc.wq_pickup_ns
+
+        def unroll() -> None:
+            transfer.timings.pickup = self.sim.now
+            pkt = cas_request(
+                self.node_id, dst_node, tid, remote_addr, expected, desired
+            )
+            pkt.meta["r2p2"] = (remote_addr // CACHE_BLOCK) % rmc.backends
+            t = self._rgp[transfer.backend].request(self._rmc_cycle)
+            transfer.timings.first_request = max(t, self.sim.now)
+            self.sim.call_at(t, lambda: self.fabric.send(pkt))
+
+        self.sim.call_later(pickup, unroll)
+        return completion
+
+    def _post(
+        self,
+        op: OpKind,
+        dst_node: int,
+        remote_addr: int,
+        size: int,
+        local_addr: int,
+        payload: Optional[bytes] = None,
+    ) -> Event:
+        if size <= 0:
+            raise SimulationError(f"transfer size must be positive: {size}")
+        if dst_node == self.node_id:
+            raise SimulationError("one-sided ops target remote nodes")
+        rmc = self.cfg.rmc
+        tid = next(self._tid)
+        backend = tid % rmc.backends
+        transfer = SourceTransfer(
+            transfer_id=tid,
+            op=op,
+            dst_node=dst_node,
+            remote_addr=remote_addr,
+            size_bytes=size,
+            local_addr=local_addr,
+            total_blocks=blocks_in(size),
+            backend=backend,
+            payload=payload,
+        )
+        transfer.timings.posted = self.sim.now
+        self._transfers[tid] = transfer
+        completion = self.sim.event()
+        self._completions[tid] = completion
+        pickup_delay = rmc.wq_post_ns + rmc.wq_pickup_ns
+        self.sim.call_later(pickup_delay, lambda: self._unroll(transfer))
+        return completion
+
+    # ------------------------------------------------------------------
+    # RGP: source unrolling (§5)
+    # ------------------------------------------------------------------
+    def _unroll(self, transfer: SourceTransfer) -> None:
+        transfer.timings.pickup = self.sim.now
+        rgp = self._rgp[transfer.backend]
+        dest_backends = self.cfg.rmc.backends
+        sabre = self.cfg.sabre
+
+        if transfer.op is OpKind.SABRE:
+            r2p2 = transfer.transfer_id % dest_backends
+            reg = sabre_registration(
+                self.node_id,
+                transfer.dst_node,
+                transfer.transfer_id,
+                transfer.total_blocks,
+            )
+            reg.meta.update(
+                addr=transfer.remote_addr,
+                size=transfer.size_bytes,
+                r2p2=r2p2,
+                rgp=transfer.backend,
+            )
+            t = rgp.request(self._rmc_cycle)
+            self.sim.call_at(t, lambda pkt=reg: self.fabric.send(pkt))
+
+        for offset in range(transfer.total_blocks):
+            if transfer.op is OpKind.SABRE:
+                pkt = sabre_request(
+                    self.node_id, transfer.dst_node, transfer.transfer_id, offset
+                )
+                # Pinned to a single R2P2 (§5.1) unless the rejected
+                # striping design is being ablated.
+                pkt.meta["r2p2"] = (
+                    transfer.transfer_id % dest_backends
+                    if sabre.pin_to_single_r2p2
+                    else offset % dest_backends
+                )
+                pkt.meta["rgp"] = transfer.backend
+            elif transfer.op is OpKind.REMOTE_WRITE:
+                addr = transfer.remote_addr + offset * CACHE_BLOCK
+                lo = offset * CACHE_BLOCK
+                hi = min(len(transfer.payload), lo + CACHE_BLOCK)
+                pkt = write_request(
+                    self.node_id,
+                    transfer.dst_node,
+                    transfer.transfer_id,
+                    offset,
+                    transfer.payload[lo:hi],
+                )
+                pkt.meta["addr"] = addr
+                pkt.meta["r2p2"] = (addr // CACHE_BLOCK) % dest_backends
+            else:
+                pkt = read_request(
+                    self.node_id, transfer.dst_node, transfer.transfer_id, offset
+                )
+                addr = transfer.remote_addr + offset * CACHE_BLOCK
+                pkt.meta["addr"] = addr
+                pkt.meta["size"] = self._payload_size(transfer, offset)
+                # Remote reads balance across R2P2s per block (§7.1):
+                # steer by block *address* so single-block transfers to
+                # different objects also spread across the R2P2s.
+                pkt.meta["r2p2"] = (addr // CACHE_BLOCK) % dest_backends
+            t = rgp.request(self._rmc_cycle * self.cfg.rmc.rgp_request_cycles)
+            if offset == 0:
+                transfer.timings.first_request = max(t, self.sim.now)
+            self.sim.call_at(t, lambda pkt=pkt: self.fabric.send(pkt))
+
+    @staticmethod
+    def _payload_size(transfer: SourceTransfer, offset: int) -> int:
+        remaining = transfer.size_bytes - offset * CACHE_BLOCK
+        return max(0, min(CACHE_BLOCK, remaining))
+
+    # ------------------------------------------------------------------
+    # NI dispatch
+    # ------------------------------------------------------------------
+    def _send(self, pkt: Packet) -> None:
+        self.fabric.send(pkt)
+
+    def _handle_packet(self, pkt: Packet) -> None:
+        if pkt.kind in (
+            PacketKind.READ_REQUEST,
+            PacketKind.SABRE_REGISTRATION,
+            PacketKind.SABRE_REQUEST,
+            PacketKind.WRITE_REQUEST,
+            PacketKind.CAS_REQUEST,
+        ):
+            self.r2p2s[pkt.meta.get("r2p2", 0)].handle_packet(pkt)
+        elif pkt.kind in (
+            PacketKind.READ_REPLY,
+            PacketKind.SABRE_REPLY,
+            PacketKind.SABRE_VALIDATION,
+            PacketKind.WRITE_ACK,
+            PacketKind.CAS_REPLY,
+        ):
+            self._on_reply(pkt)
+        elif pkt.kind in (PacketKind.RPC_SEND, PacketKind.RPC_REPLY):
+            if self._rpc_handler is None:
+                raise ProtocolError(f"node {self.node_id} has no RPC endpoint")
+            self._rpc_handler(pkt)
+        else:
+            raise ProtocolError(f"unroutable packet kind {pkt.kind}")
+
+    def attach_rpc(self, handler) -> None:
+        self._rpc_handler = handler
+
+    # ------------------------------------------------------------------
+    # RCP: reply processing and completion (§5.2)
+    # ------------------------------------------------------------------
+    def _on_reply(self, pkt: Packet) -> None:
+        transfer = self._transfers.get(pkt.transfer_id)
+        if transfer is None or transfer.completed:
+            raise ProtocolError(
+                f"reply for unknown/completed transfer {pkt.transfer_id}"
+            )
+        rcp = self._rcp[transfer.backend]
+        t = rcp.request(self._rmc_cycle)
+        self.sim.call_at(t, lambda: self._process_reply(transfer, pkt))
+
+    def _process_reply(self, transfer: SourceTransfer, pkt: Packet) -> None:
+        if pkt.kind is PacketKind.SABRE_VALIDATION:
+            transfer.validation = pkt.meta["success"]
+            transfer.remote_version = pkt.meta.get("version")
+        elif pkt.kind is PacketKind.CAS_REPLY:
+            transfer.cas_old_value = pkt.meta["old_value"]
+            transfer.cas_swapped = pkt.meta["swapped"]
+            transfer.replies_received += 1
+            transfer.timings.last_reply = self.sim.now
+        elif pkt.kind is PacketKind.WRITE_ACK:
+            transfer.replies_received += 1
+            transfer.timings.last_reply = self.sim.now
+        else:
+            if pkt.payload is not None and pkt.size_bytes:
+                self.phys.write(
+                    transfer.local_addr + pkt.block_offset * CACHE_BLOCK,
+                    pkt.payload,
+                )
+            transfer.replies_received += 1
+            transfer.timings.last_reply = self.sim.now
+        if transfer.done:
+            self._complete(transfer)
+
+    def _complete(self, transfer: SourceTransfer) -> None:
+        transfer.completed = True
+        rmc = self.cfg.rmc
+        delay = rmc.cq_write_ns + rmc.cq_poll_ns
+
+        def deliver() -> None:
+            transfer.timings.completed = self.sim.now
+            if transfer.op is OpKind.SABRE:
+                success = bool(transfer.validation)
+            elif transfer.op is OpKind.REMOTE_CAS:
+                success = bool(transfer.cas_swapped)
+            else:
+                success = True
+            result = TransferResult(
+                transfer_id=transfer.transfer_id,
+                op=transfer.op,
+                success=success,
+                size_bytes=transfer.size_bytes,
+                local_addr=transfer.local_addr,
+                timings=transfer.timings,
+                remote_version=transfer.remote_version,
+                cas_old_value=transfer.cas_old_value,
+            )
+            del self._transfers[transfer.transfer_id]
+            self._completions.pop(transfer.transfer_id).succeed(result)
+
+        self.sim.call_later(delay, deliver)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def read_local(self, addr: int, size: int) -> bytes:
+        return self.phys.read(addr, size)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._transfers)
+
+
+class Cluster:
+    """A soNUMA rack: N nodes on a lossless fabric (paper: N=2)."""
+
+    def __init__(self, cfg: Optional[ClusterConfig] = None):
+        self.cfg = cfg or ClusterConfig()
+        self.cfg.validate()
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, self.cfg.fabric, self.cfg.nodes)
+        self.nodes = [
+            SoNode(self.sim, i, self.cfg, self.fabric)
+            for i in range(self.cfg.nodes)
+        ]
+
+    def node(self, node_id: int) -> SoNode:
+        return self.nodes[node_id]
+
+    def run(self, until: float = float("inf")) -> float:
+        return self.sim.run(until)

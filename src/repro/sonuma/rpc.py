@@ -1,0 +1,94 @@
+"""RPC over soNUMA messaging.
+
+FaRM sends *writes* to the data owner over an RPC (§2.1); HERD-style
+systems use RPCs for everything (§8).  This endpoint models a
+dispatcher with a bounded worker pool: requests queue, each costs a
+dispatch overhead plus a handler-defined service time, and the reply
+travels back as a fabric packet.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Tuple
+
+from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.common.errors import ProtocolError
+from repro.fabric.packets import Packet, PacketKind
+from repro.sim.engine import Event
+from repro.sim.resources import FifoResource
+
+#: Handler: payload -> (reply payload, extra service time in ns).
+RpcHandler = Callable[[bytes], Tuple[bytes, float]]
+
+
+class RpcEndpoint:
+    """Per-node RPC dispatcher attached to the node's NI."""
+
+    def __init__(self, node, workers: int = 2, costs: SoftwareCosts = DEFAULT_COSTS):
+        self.node = node
+        self.sim = node.sim
+        self.costs = costs
+        self._handlers: Dict[str, RpcHandler] = {}
+        self._pending: Dict[int, Event] = {}
+        self._workers = FifoResource(self.sim, capacity=workers)
+        self._rpc_id = itertools.count(node.node_id << 48)
+        self.served = 0
+        node.attach_rpc(self._on_packet)
+
+    def register(self, name: str, handler: RpcHandler) -> None:
+        self._handlers[name] = handler
+
+    # ------------------------------------------------------------------
+    def call(self, dst_node: int, name: str, payload: bytes) -> Event:
+        """Issue an RPC; the returned event triggers with the reply bytes."""
+        rpc_id = next(self._rpc_id)
+        completion = self.sim.event()
+        self._pending[rpc_id] = completion
+        pkt = Packet(
+            PacketKind.RPC_SEND,
+            self.node.node_id,
+            dst_node,
+            transfer_id=rpc_id,
+            size_bytes=len(payload),
+            payload=payload,
+            meta={"name": name},
+        )
+        marshal = self.costs.rpc_marshal_ns_per_byte * len(payload)
+        self.sim.call_later(marshal, lambda: self.node.fabric.send(pkt))
+        return completion
+
+    # ------------------------------------------------------------------
+    def _on_packet(self, pkt: Packet) -> None:
+        if pkt.kind is PacketKind.RPC_SEND:
+            self.sim.process(self._serve(pkt))
+        elif pkt.kind is PacketKind.RPC_REPLY:
+            completion = self._pending.pop(pkt.transfer_id, None)
+            if completion is None:
+                raise ProtocolError(f"reply for unknown RPC {pkt.transfer_id}")
+            completion.succeed(pkt.payload)
+        else:
+            raise ProtocolError(f"RPC endpoint cannot handle {pkt.kind}")
+
+    def _serve(self, pkt: Packet):
+        handler = self._handlers.get(pkt.meta["name"])
+        if handler is None:
+            raise ProtocolError(f"no RPC handler named {pkt.meta['name']!r}")
+        yield self._workers.acquire()
+        try:
+            yield self.sim.timeout(self.costs.rpc_dispatch_ns)
+            reply_payload, service_ns = handler(pkt.payload or b"")
+            if service_ns > 0:
+                yield self.sim.timeout(service_ns)
+            self.served += 1
+            reply = Packet(
+                PacketKind.RPC_REPLY,
+                self.node.node_id,
+                pkt.src_node,
+                transfer_id=pkt.transfer_id,
+                size_bytes=len(reply_payload),
+                payload=reply_payload,
+            )
+            self.node.fabric.send(reply)
+        finally:
+            self._workers.release()

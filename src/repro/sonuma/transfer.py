@@ -1,0 +1,89 @@
+"""Source-side transfer state: WQ/CQ entries and transfer results.
+
+Cores talk to the RMC through memory-mapped Work Queues and Completion
+Queues (Fig. 5).  We model the queues' costs (post, pickup, CQ write,
+poll) and keep per-transfer timing so experiments can report the
+paper's latency breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class OpKind(Enum):
+    REMOTE_READ = "remote_read"
+    REMOTE_WRITE = "remote_write"
+    REMOTE_CAS = "remote_cas"
+    SABRE = "sabre"
+
+
+@dataclass
+class TransferTimings:
+    """Wall-clock (simulated ns) milestones of one transfer."""
+
+    posted: float = 0.0
+    pickup: float = 0.0
+    first_request: float = 0.0
+    last_reply: float = 0.0
+    completed: float = 0.0
+
+    @property
+    def end_to_end_ns(self) -> float:
+        return self.completed - self.posted
+
+    @property
+    def unroll_to_last_reply_ns(self) -> float:
+        return self.last_reply - self.pickup
+
+
+@dataclass
+class TransferResult:
+    """What the core observes in the Completion Queue entry.
+
+    ``success`` is the SABRe atomicity field (§5.2); plain remote
+    reads/writes always succeed at the transport level; for remote CAS
+    it reports whether the swap happened."""
+
+    transfer_id: int
+    op: OpKind
+    success: bool
+    size_bytes: int
+    local_addr: int
+    timings: TransferTimings
+    remote_version: Optional[int] = None
+    cas_old_value: Optional[int] = None
+
+
+@dataclass
+class SourceTransfer:
+    """RMC-internal bookkeeping for one in-flight transfer."""
+
+    transfer_id: int
+    op: OpKind
+    dst_node: int
+    remote_addr: int
+    size_bytes: int
+    local_addr: int
+    total_blocks: int
+    backend: int
+    timings: TransferTimings = field(default_factory=TransferTimings)
+    replies_received: int = 0
+    validation: Optional[bool] = None
+    remote_version: Optional[int] = None
+    completed: bool = False
+    payload: Optional[bytes] = None  # outbound data for REMOTE_WRITE
+    cas_old_value: Optional[int] = None
+    cas_swapped: Optional[bool] = None
+
+    @property
+    def data_done(self) -> bool:
+        return self.replies_received >= self.total_blocks
+
+    @property
+    def done(self) -> bool:
+        if self.op is OpKind.SABRE:
+            return self.data_done and self.validation is not None
+        return self.data_done

@@ -1,0 +1,27 @@
+"""Workload generators and the paper's microbenchmarks (§6)."""
+
+from repro.workloads.generators import (
+    FIG1_SIZES,
+    FIG7_SIZES,
+    FIG8_SIZES,
+    CrewPartition,
+    UniformPicker,
+)
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    MicrobenchResult,
+    TimedWriter,
+    run_microbench,
+)
+
+__all__ = [
+    "CrewPartition",
+    "FIG1_SIZES",
+    "FIG7_SIZES",
+    "FIG8_SIZES",
+    "MicrobenchConfig",
+    "MicrobenchResult",
+    "TimedWriter",
+    "UniformPicker",
+    "run_microbench",
+]

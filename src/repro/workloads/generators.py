@@ -1,0 +1,87 @@
+"""Object-size ladders and access-pattern generators from §6/§7."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence
+
+from repro.common.rng import make_rng
+
+#: Fig. 1 / Fig. 9 object sizes (bytes).
+FIG1_SIZES: Sequence[int] = (128, 256, 512, 1024, 2048, 4096, 8192)
+#: Fig. 7 object sizes (starts at one cache block).
+FIG7_SIZES: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+#: Fig. 8 studies three representative sizes.
+FIG8_SIZES: Sequence[int] = (128, 1024, 8192)
+
+
+class UniformPicker:
+    """Readers access all objects uniformly at random (§7.2)."""
+
+    def __init__(self, object_ids: Sequence[int], seed: int, label: object = ""):
+        if not object_ids:
+            raise ValueError("need at least one object")
+        self._ids = list(object_ids)
+        self._rng = make_rng(seed, "uniform", label)
+
+    def pick(self) -> int:
+        return self._rng.choice(self._ids)
+
+
+class CrewPartition:
+    """Concurrent-Reads-Exclusive-Writes (§7.2, after MICA [25]):
+    each writer repeatedly updates a predefined disjoint subset."""
+
+    def __init__(self, object_ids: Sequence[int], writers: int):
+        if writers < 0:
+            raise ValueError(f"writer count must be >= 0: {writers}")
+        self._subsets: List[List[int]] = [[] for _ in range(max(writers, 1))]
+        if writers > 0:
+            for idx, obj in enumerate(object_ids):
+                self._subsets[idx % writers].append(obj)
+
+    def subset(self, writer_id: int) -> List[int]:
+        return list(self._subsets[writer_id])
+
+
+class ZipfianPicker:
+    """Zipf-distributed object picker.
+
+    The paper's motivation (§1) is large-scale online services, whose
+    key popularity is famously skewed; YCSB's default is Zipfian with
+    theta ~ 0.99.  Used by the skew ablation to study hot-object
+    conflict behavior beyond the paper's uniform microbenchmark.
+    """
+
+    def __init__(
+        self,
+        object_ids: Sequence[int],
+        seed: int,
+        theta: float = 0.99,
+        label: object = "",
+    ):
+        if not object_ids:
+            raise ValueError("need at least one object")
+        if not 0.0 < theta < 2.0:
+            raise ValueError(f"theta out of range: {theta}")
+        self._ids = list(object_ids)
+        self._rng = make_rng(seed, "zipfian", theta, label)
+        weights = [1.0 / math.pow(rank, theta) for rank in range(1, len(self._ids) + 1)]
+        total = 0.0
+        self._cdf: List[float] = []
+        for w in weights:
+            total += w
+            self._cdf.append(total)
+        self._total = total
+
+    def pick(self) -> int:
+        point = self._rng.random() * self._total
+        return self._ids[bisect.bisect_left(self._cdf, point)]
+
+    def hot_fraction(self, top_n: int) -> float:
+        """Probability mass on the ``top_n`` most popular objects."""
+        if top_n <= 0:
+            return 0.0
+        top_n = min(top_n, len(self._cdf))
+        return self._cdf[top_n - 1] / self._total

@@ -1,0 +1,446 @@
+"""The paper's microbenchmark (§6): reader threads performing atomic
+remote object reads in a tight loop, writer threads updating objects in
+destination-local memory under the odd/even version protocol.
+
+Every consumed read is audited against ground truth (payload words
+stamped with the committed version): a mechanism that lets a torn read
+through increments ``undetected_violations`` — zero for LightSABRes by
+construction, non-zero for the Fig. 2 straw man.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.atomicity.mechanisms import (
+    AtomicityMechanism,
+    ChecksumMechanism,
+    HardwareSabreMechanism,
+    PerCacheLineMechanism,
+)
+from repro.common.config import ClusterConfig, SabreMode
+from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.objstore.layout import (
+    RawLayout,
+    is_locked,
+    stamped_payload,
+    torn_words,
+)
+from repro.objstore.store import ObjectStore
+from repro.sim.resources import FifoResource
+from repro.sim.stats import Samples, ThroughputMeter
+from repro.sonuma.node import Cluster, SoNode
+from repro.workloads.generators import CrewPartition, UniformPicker, ZipfianPicker
+
+#: Mechanisms the microbenchmark understands.  ``remote_read`` is the
+#: pure-transport baseline of Fig. 7 (no atomicity enforcement at all);
+#: ``drtm_lock`` is Table 1's source-side locking cell: acquire the
+#: object's version-word lock with a remote CAS, read, then release
+#: with a remote write — two extra network round trips per read.
+MECHANISMS = ("remote_read", "sabre", "percl_versions", "checksum", "drtm_lock")
+
+
+@dataclass
+class MicrobenchConfig:
+    """``object_size`` is the total in-store object footprint including
+    its 8 B version header (so a 64 B object is a true single-block
+    transfer, as in Fig. 7a); the application payload is 8 bytes less.
+    """
+
+    mechanism: str = "sabre"
+    object_size: int = 1024
+    n_objects: int = 100
+    readers: int = 1
+    writers: int = 0
+    duration_ns: float = 150_000.0
+    warmup_ns: float = 20_000.0
+    async_window: int = 1  # outstanding ops per reader thread (1 = sync)
+    seed: int = 1
+    version_bits: int = 16
+    writer_think_ns: float = 0.0
+    #: Zipfian skew for reader accesses (0.0 = uniform, YCSB-style ~0.99).
+    zipf_theta: float = 0.0
+    costs: SoftwareCosts = field(default_factory=lambda: DEFAULT_COSTS)
+    cluster: Optional[ClusterConfig] = None
+
+    def validate(self) -> None:
+        if self.mechanism not in MECHANISMS:
+            raise ConfigError(
+                f"unknown mechanism {self.mechanism!r}; choose from {MECHANISMS}"
+            )
+        if self.object_size < 16:
+            raise ConfigError("object_size must cover the 8 B header plus data")
+        if self.readers < 1:
+            raise ConfigError("need at least one reader")
+        if self.warmup_ns >= self.duration_ns:
+            raise ConfigError("warmup must end before the run does")
+        if self.async_window < 1:
+            raise ConfigError("async_window must be >= 1")
+
+    @property
+    def payload_len(self) -> int:
+        """Application data bytes per object (header excluded)."""
+        return self.object_size - 8
+
+
+@dataclass
+class MicrobenchResult:
+    config: MicrobenchConfig
+    op_latency: Samples
+    transfer_latency: Samples
+    goodput_gbps: float
+    ops_completed: int
+    sabre_aborts: int
+    software_conflicts: int
+    retries: int
+    undetected_violations: int
+    writer_updates: int
+    destination_counters: Dict[str, int]
+
+    @property
+    def mean_op_latency_ns(self) -> float:
+        return self.op_latency.mean
+
+    @property
+    def mean_transfer_latency_ns(self) -> float:
+        return self.transfer_latency.mean
+
+
+def _make_mechanism(cfg: MicrobenchConfig) -> Optional[AtomicityMechanism]:
+    if cfg.mechanism == "sabre":
+        return HardwareSabreMechanism()
+    if cfg.mechanism == "percl_versions":
+        return PerCacheLineMechanism(cfg.version_bits)
+    if cfg.mechanism == "checksum":
+        return ChecksumMechanism()
+    return None  # remote_read / drtm_lock: raw layout, no post-check
+
+
+class TimedWriter:
+    """A writer thread on the data-owning node (§6): repeatedly updates
+    its CREW subset in local memory with paced block stores."""
+
+    def __init__(
+        self,
+        node: SoNode,
+        store: ObjectStore,
+        object_ids: List[int],
+        core: int,
+        seed: int,
+        costs: SoftwareCosts,
+        think_ns: float = 0.0,
+        use_lock_table: bool = False,
+    ):
+        self.node = node
+        self.store = store
+        self.object_ids = object_ids
+        self.core = core
+        self.costs = costs
+        self.think_ns = think_ns
+        self.use_lock_table = use_lock_table
+        self._rng = make_rng(seed, "writer", core)
+        self.updates = 0
+        self.lock_spins = 0
+
+    def process(self, until_ns: float):
+        sim = self.node.sim
+        if not self.object_ids:
+            return
+            yield  # pragma: no cover - makes this a generator
+        while sim.now < until_ns:
+            obj_id = self._rng.choice(self.object_ids)
+            handle = self.store.handle(obj_id)
+            if self.use_lock_table:
+                acquired = False
+                while not acquired:
+                    acquired = self.node.lock_table.try_write_lock(handle.base_addr)
+                    if acquired:
+                        break
+                    self.lock_spins += 1
+                    yield sim.timeout(25.0)
+                    if sim.now >= until_ns:
+                        return
+            while is_locked(self.store.current_version(obj_id)):
+                # A DrTM-style reader holds the version-word lock (or a
+                # concurrent writer in LOCKING mode): wait it out.
+                self.lock_spins += 1
+                yield sim.timeout(25.0)
+                if sim.now >= until_ns:
+                    return
+            committed = self.store.current_version(obj_id) + 2
+            data = stamped_payload(committed, handle.data_len)
+            steps, _version = self.store.update_steps(obj_id, data)
+            yield sim.timeout(self.costs.writer_fixed_ns)
+            for addr, chunk in steps:
+                latency = self.node.chip.write_block(self.core, addr, chunk)
+                yield sim.timeout(max(latency, self.costs.writer_block_ns))
+            if self.use_lock_table:
+                self.node.lock_table.write_unlock(handle.base_addr)
+            self.updates += 1
+            if self.think_ns > 0:
+                yield sim.timeout(self.think_ns)
+
+
+class _ReaderStats:
+    def __init__(self) -> None:
+        self.op_latency = Samples("op_latency_ns")
+        self.transfer_latency = Samples("transfer_latency_ns")
+        self.meter = ThroughputMeter()
+        self.sabre_aborts = 0
+        self.software_conflicts = 0
+        self.retries = 0
+        self.undetected_violations = 0
+
+
+class Microbenchmark:
+    """Builds the 2-node system and runs the reader/writer mix."""
+
+    def __init__(self, cfg: MicrobenchConfig):
+        cfg.validate()
+        self.cfg = cfg
+        self.cluster = Cluster(cfg.cluster or ClusterConfig())
+        self.dst = self.cluster.node(0)  # data owner
+        self.src = self.cluster.node(1)  # readers
+        self.mechanism = _make_mechanism(cfg)
+        layout = self.mechanism.layout if self.mechanism else RawLayout()
+        self.store = ObjectStore(self.dst.phys, layout, name="microbench")
+        for obj_id in range(cfg.n_objects):
+            self.store.create(obj_id, stamped_payload(0, cfg.payload_len))
+        self.stats = _ReaderStats()
+        self.writers: List[TimedWriter] = []
+
+    # ------------------------------------------------------------------
+    def _reader_slot(self, thread: int, slot: int, t_end: float):
+        sim = self.cluster.sim
+        cfg = self.cfg
+        costs = cfg.costs
+        mech = self.mechanism
+        layout = self.store.layout
+        picker = self._picker((thread, slot))
+        wire = layout.wire_size(cfg.payload_len)
+        buf = self.src.alloc_buffer(wire)
+        hardware = mech is not None and mech.hardware
+        drtm = cfg.mechanism == "drtm_lock"
+
+        while sim.now < t_end:
+            obj_id = picker.pick()
+            handle = self.store.handle(obj_id)
+            t0 = sim.now
+            if drtm:
+                yield from self._drtm_read(handle, buf, wire, t0, t_end)
+                continue
+            while True:
+                yield sim.timeout(costs.microbench_loop_ns)
+                if hardware:
+                    ev = self.src.sabre_read(
+                        self.dst.node_id, handle.base_addr, wire, buf
+                    )
+                else:
+                    ev = self.src.remote_read(
+                        self.dst.node_id, handle.base_addr, wire, buf
+                    )
+                result = yield ev
+                ok = True
+                data: Optional[bytes] = None
+                if hardware:
+                    ok = result.success
+                    if ok:
+                        raw = self.src.read_local(buf, wire)
+                        strip = layout.unpack(raw, cfg.payload_len)
+                        data = strip.data
+                        yield sim.timeout(
+                            costs.app_consume_ns(cfg.payload_len, "microbench")
+                        )
+                    else:
+                        self.stats.sabre_aborts += 1
+                elif mech is not None:
+                    yield sim.timeout(mech.check_cost_ns(costs, cfg.payload_len))
+                    raw = self.src.read_local(buf, wire)
+                    strip = mech.check(raw, cfg.payload_len)
+                    ok = strip.ok
+                    data = strip.data
+                    if not ok:
+                        self.stats.software_conflicts += 1
+                else:  # remote_read transport baseline: no atomicity check
+                    raw = self.src.read_local(buf, wire)
+                    data = layout.unpack(raw, cfg.payload_len).data
+
+                if ok:
+                    if mech is not None and data is not None:
+                        torn, _words = torn_words(data)
+                        if torn:
+                            self.stats.undetected_violations += 1
+                    latency = sim.now - t0
+                    self.stats.op_latency.add(latency)
+                    self.stats.transfer_latency.add(
+                        result.timings.end_to_end_ns
+                    )
+                    self.stats.meter.record(cfg.payload_len)
+                    break
+                # Atomicity violation: retry the same object immediately
+                # (§7.2's retry policy).
+                self.stats.retries += 1
+                if sim.now >= t_end:
+                    break
+
+    # ------------------------------------------------------------------
+    def _picker(self, label):
+        cfg = self.cfg
+        if cfg.zipf_theta > 0.0:
+            return ZipfianPicker(
+                range(cfg.n_objects), cfg.seed, theta=cfg.zipf_theta, label=label
+            )
+        return UniformPicker(range(cfg.n_objects), cfg.seed, label=label)
+
+    # ------------------------------------------------------------------
+    def _drtm_read(self, handle, buf: int, wire: int, t0: float, t_end: float):
+        """Source-side locking read (Table 1, DrTM cell): CAS-acquire
+        the object's version word, read it one-sidedly, CAS-release.
+
+        Costs two extra network round trips versus a plain read — the
+        drawback §2.1 calls out — but needs no post-transfer check."""
+        sim = self.cluster.sim
+        cfg = self.cfg
+        costs = cfg.costs
+        layout = self.store.layout
+        version_addr = self.store.version_addr(handle.obj_id)
+        while True:
+            yield sim.timeout(costs.microbench_loop_ns)
+            current = yield self.src.remote_read(
+                self.dst.node_id, version_addr, 8, buf
+            )
+            observed = int.from_bytes(self.src.read_local(buf, 8), "little")
+            if observed % 2 == 1:
+                self.stats.retries += 1
+                if sim.now >= t_end:
+                    return
+                continue
+            locked = observed + 1
+            cas = yield self.src.remote_cas(
+                self.dst.node_id, version_addr, observed, locked
+            )
+            if not cas.success:
+                self.stats.retries += 1
+                if sim.now >= t_end:
+                    return
+                continue
+            read = yield self.src.remote_read(
+                self.dst.node_id, handle.base_addr, wire, buf
+            )
+            raw = self.src.read_local(buf, wire)
+            # Restore the pre-lock version (pure read: no version bump).
+            yield self.src.remote_write(
+                self.dst.node_id, version_addr, observed.to_bytes(8, "little")
+            )
+            strip = layout.unpack(raw, cfg.payload_len)
+            data = bytes(raw[8 : 8 + cfg.payload_len])
+            torn, _words = torn_words(data)
+            if torn:
+                self.stats.undetected_violations += 1
+            yield sim.timeout(costs.app_consume_ns(cfg.payload_len, "microbench"))
+            self.stats.op_latency.add(sim.now - t0)
+            self.stats.transfer_latency.add(read.timings.end_to_end_ns)
+            self.stats.meter.record(cfg.payload_len)
+            return
+
+    # ------------------------------------------------------------------
+    def _async_thread(self, thread: int, t_end: float):
+        """Fig. 7b issue loop: one thread keeps ``async_window`` ops in
+        flight, paying only the per-op issue cost.  Peak-bandwidth mode:
+        post-transfer software is assumed overlapped."""
+        sim = self.cluster.sim
+        cfg = self.cfg
+        mech = self.mechanism
+        layout = self.store.layout
+        picker = self._picker(thread)
+        wire = layout.wire_size(cfg.payload_len)
+        window = FifoResource(sim, cfg.async_window)
+        hardware = mech is not None and mech.hardware
+        issue_gap = cfg.costs.microbench_loop_ns
+
+        def on_complete(event):
+            result = event.value
+            if (not hardware) or result.success:
+                self.stats.op_latency.add(result.timings.end_to_end_ns)
+                self.stats.transfer_latency.add(result.timings.end_to_end_ns)
+                self.stats.meter.record(cfg.payload_len)
+            else:
+                self.stats.sabre_aborts += 1
+            window.release()
+
+        while sim.now < t_end:
+            yield window.acquire()
+            yield sim.timeout(issue_gap)
+            handle = self.store.handle(picker.pick())
+            buf = self.src.alloc_buffer(wire)
+            if hardware:
+                ev = self.src.sabre_read(
+                    self.dst.node_id, handle.base_addr, wire, buf
+                )
+            else:
+                ev = self.src.remote_read(
+                    self.dst.node_id, handle.base_addr, wire, buf
+                )
+            ev.add_callback(on_complete)
+
+    def run(self) -> MicrobenchResult:
+        sim = self.cluster.sim
+        cfg = self.cfg
+        t_end = cfg.duration_ns
+
+        if cfg.async_window > 1:
+            for thread in range(cfg.readers):
+                sim.process(self._async_thread(thread, t_end))
+        else:
+            for thread in range(cfg.readers):
+                sim.process(self._reader_slot(thread, 0, t_end))
+
+        use_locks = (
+            cfg.mechanism == "sabre"
+            and self.cluster.cfg.node.sabre.mode is SabreMode.LOCKING
+        )
+        partition = CrewPartition(range(cfg.n_objects), cfg.writers)
+        for w in range(cfg.writers):
+            writer = TimedWriter(
+                self.dst,
+                self.store,
+                partition.subset(w),
+                core=w % self.cluster.cfg.node.cores.count,
+                seed=cfg.seed + 17,
+                costs=cfg.costs,
+                think_ns=cfg.writer_think_ns,
+                use_lock_table=use_locks,
+            )
+            self.writers.append(writer)
+            sim.process(writer.process(t_end))
+
+        def metering():
+            yield sim.timeout(cfg.warmup_ns)
+            self.stats.meter.start(sim.now)
+            yield sim.timeout(t_end - cfg.warmup_ns)
+            self.stats.meter.stop(sim.now)
+
+        sim.process(metering())
+        sim.run()
+
+        return MicrobenchResult(
+            config=cfg,
+            op_latency=self.stats.op_latency,
+            transfer_latency=self.stats.transfer_latency,
+            goodput_gbps=self.stats.meter.gbps,
+            ops_completed=self.stats.meter.ops_total,
+            sabre_aborts=self.stats.sabre_aborts,
+            software_conflicts=self.stats.software_conflicts,
+            retries=self.stats.retries,
+            undetected_violations=self.stats.undetected_violations,
+            writer_updates=sum(w.updates for w in self.writers),
+            destination_counters=self.dst.counters.as_dict(),
+        )
+
+
+def run_microbench(cfg: MicrobenchConfig) -> MicrobenchResult:
+    """Build and run one microbenchmark configuration."""
+    return Microbenchmark(cfg).run()

@@ -1,0 +1,94 @@
+"""Unit tests for the Active Transfers Table."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.att import ActiveTransfersTable
+
+
+def make_att(entries=4, depth=8):
+    return ActiveTransfersTable(entries, depth)
+
+
+def test_register_and_lookup():
+    att = make_att()
+    entry = att.register((0, 0, 1), 0x1000, 4, 256, now=0.0)
+    assert att.lookup((0, 0, 1)) is entry
+    assert att.occupancy == 1
+    assert entry.stream_buffer.busy
+
+
+def test_duplicate_registration_rejected():
+    att = make_att()
+    att.register((0, 0, 1), 0x1000, 4, 256, now=0.0)
+    with pytest.raises(SimulationError):
+        att.register((0, 0, 1), 0x2000, 4, 256, now=0.0)
+
+
+def test_capacity_enforced():
+    att = make_att(entries=2)
+    att.register((0, 0, 1), 0x1000, 2, 128, now=0.0)
+    att.register((0, 0, 2), 0x2000, 2, 128, now=0.0)
+    assert not att.has_free_entry()
+    with pytest.raises(SimulationError):
+        att.register((0, 0, 3), 0x3000, 2, 128, now=0.0)
+
+
+def test_free_recycles_stream_buffer():
+    att = make_att(entries=1)
+    entry = att.register((0, 0, 1), 0x1000, 2, 128, now=0.0)
+    att.free(entry)
+    assert att.has_free_entry()
+    entry2 = att.register((0, 0, 2), 0x2000, 2, 128, now=1.0)
+    assert entry2.stream_buffer is entry.stream_buffer
+    assert entry2.stream_buffer.base_block == 0x2000
+
+
+def test_double_free_rejected():
+    att = make_att()
+    entry = att.register((0, 0, 1), 0x1000, 2, 128, now=0.0)
+    att.free(entry)
+    with pytest.raises(SimulationError):
+        att.free(entry)
+
+
+def test_peak_occupancy_tracked():
+    att = make_att(entries=3)
+    entries = [
+        att.register((0, 0, i), 0x1000 * (i + 1), 2, 128, now=0.0)
+        for i in range(3)
+    ]
+    for e in entries:
+        att.free(e)
+    assert att.peak_occupancy == 3
+    assert att.occupancy == 0
+
+
+def test_entry_reply_bookkeeping():
+    att = make_att()
+    entry = att.register((0, 0, 1), 0x1000, 3, 192, now=0.0)
+    assert entry.mark_replied(0)
+    assert not entry.mark_replied(0)  # duplicate guarded
+    assert entry.mark_replied(1)
+    assert entry.mark_replied(2)
+    assert entry.all_replied
+
+
+def test_entry_received_bits():
+    att = make_att()
+    entry = att.register((0, 0, 1), 0x1000, 3, 192, now=0.0)
+    entry.mark_received(2)
+    assert entry.is_received(2)
+    assert not entry.is_received(0)
+
+
+def test_block_addr():
+    att = make_att()
+    entry = att.register((0, 0, 1), 0x1000, 3, 192, now=0.0)
+    assert entry.block_addr(0) == 0x1000
+    assert entry.block_addr(2) == 0x1080
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(SimulationError):
+        ActiveTransfersTable(0, 8)

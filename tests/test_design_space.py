@@ -1,0 +1,37 @@
+"""Tests for the Table 1 taxonomy."""
+
+from repro.core.design_space import (
+    DESIGN_SPACE,
+    CcMethod,
+    CcSide,
+    design_space_table,
+)
+
+
+def test_all_four_cells_present():
+    cells = {(p.side, p.method) for p in DESIGN_SPACE}
+    assert cells == {
+        (CcSide.SOURCE, CcMethod.LOCKING),
+        (CcSide.SOURCE, CcMethod.OCC),
+        (CcSide.DESTINATION, CcMethod.LOCKING),
+        (CcSide.DESTINATION, CcMethod.OCC),
+    }
+
+
+def test_sabres_own_the_destination_column():
+    for point in DESIGN_SPACE:
+        if point.side is CcSide.DESTINATION:
+            assert "SABRes" in point.systems
+
+
+def test_source_side_systems_match_paper():
+    by_cell = {(p.side, p.method): p.systems for p in DESIGN_SPACE}
+    assert by_cell[(CcSide.SOURCE, CcMethod.LOCKING)] == ("DrTM",)
+    assert set(by_cell[(CcSide.SOURCE, CcMethod.OCC)]) == {"FaRM", "Pilaf"}
+
+
+def test_rendered_table_contains_rows_and_systems():
+    table = design_space_table()
+    assert "LOCKING" in table and "OCC" in table
+    assert "DrTM" in table and "FaRM, Pilaf" in table
+    assert table.count("SABRes") == 2

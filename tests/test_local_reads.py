@@ -1,0 +1,61 @@
+"""Tests for the Fig. 10 local-read kernel."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.objstore.local import LocalReadConfig, run_local_reads
+
+
+def quick(percl, **kw):
+    defaults = dict(
+        percl_layout=percl,
+        object_size=1024,
+        readers=4,
+        duration_ns=50_000.0,
+        warmup_ns=8_000.0,
+        seed=3,
+    )
+    defaults.update(kw)
+    return run_local_reads(LocalReadConfig(**defaults))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        LocalReadConfig(object_size=8).validate()
+    with pytest.raises(ConfigError):
+        LocalReadConfig(readers=0).validate()
+
+
+def test_both_layouts_make_progress():
+    for percl in (True, False):
+        result = quick(percl)
+        assert result.ops_completed > 20
+        assert result.goodput_gbps > 0
+
+
+def test_unmodified_store_is_faster():
+    percl = quick(True)
+    raw = quick(False)
+    assert raw.goodput_gbps > percl.goodput_gbps
+
+
+def test_speedup_grows_with_object_size():
+    """Fig. 10: +20 % at 128 B growing to ~2.1x at 8 KB."""
+    ratios = []
+    for size in (128, 8192):
+        percl = quick(True, object_size=size, readers=15)
+        raw = quick(False, object_size=size, readers=15)
+        ratios.append(raw.goodput_gbps / percl.goodput_gbps)
+    assert ratios[0] < ratios[1]
+    assert 1.05 <= ratios[0] <= 1.5
+    assert 1.6 <= ratios[1] <= 2.6
+
+
+def test_explicit_object_count_respected():
+    result = quick(False, n_objects=32)
+    assert result.ops_completed > 0
+
+
+def test_throughput_bounded_by_dram():
+    result = quick(False, object_size=8192, readers=15)
+    assert result.goodput_gbps <= 102.4  # 4 x 25.6 GBps ceiling

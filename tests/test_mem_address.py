@@ -1,0 +1,97 @@
+"""Unit tests for cache-block / page address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.address import (
+    AddressRange,
+    block_base,
+    block_index,
+    block_span,
+    crosses_page_boundary,
+)
+
+
+def test_block_base():
+    assert block_base(0) == 0
+    assert block_base(63) == 0
+    assert block_base(64) == 64
+    assert block_base(130) == 128
+
+
+def test_block_index():
+    assert block_index(0) == 0
+    assert block_index(64) == 1
+    assert block_index(8191) == 127
+
+
+def test_block_span_exact():
+    assert block_span(0, 128) == [0, 64]
+    assert block_span(0, 0) == []
+
+
+def test_block_span_unaligned():
+    # 60 bytes starting at offset 60 touch blocks 0 and 64.
+    assert block_span(60, 60) == [0, 64]
+
+
+def test_crosses_page_boundary():
+    page = 4096
+    assert not crosses_page_boundary(0, 4096, page)
+    assert crosses_page_boundary(0, 4097, page)
+    assert crosses_page_boundary(4090, 10, page)
+    assert not crosses_page_boundary(4096, 10, page)
+    assert not crosses_page_boundary(0, 0, page)
+
+
+class TestAddressRange:
+    def test_basic_properties(self):
+        r = AddressRange(128, 256)
+        assert r.end == 384
+        assert r.contains(128)
+        assert r.contains(383)
+        assert not r.contains(384)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AddressRange(-1, 10)
+        with pytest.raises(ValueError):
+            AddressRange(0, -1)
+
+    def test_overlaps(self):
+        a = AddressRange(0, 100)
+        b = AddressRange(99, 10)
+        c = AddressRange(100, 10)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_num_blocks_matches_blocks(self):
+        r = AddressRange(60, 70)
+        assert r.num_blocks() == len(r.blocks()) == 3
+
+    def test_empty_range(self):
+        r = AddressRange(64, 0)
+        assert r.num_blocks() == 0
+        assert list(r.iter_blocks()) == []
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=1, max_value=1 << 16),
+    )
+    def test_blocks_cover_range(self, base, size):
+        r = AddressRange(base, size)
+        blocks = r.blocks()
+        assert blocks == list(r.iter_blocks())
+        assert blocks[0] <= base
+        assert blocks[-1] + 64 >= r.end
+        # Blocks are consecutive 64 B addresses.
+        assert all(b - a == 64 for a, b in zip(blocks, blocks[1:]))
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=1, max_value=1 << 16),
+    )
+    def test_num_blocks_agrees(self, base, size):
+        r = AddressRange(base, size)
+        assert r.num_blocks() == len(r.blocks())

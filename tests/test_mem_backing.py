@@ -1,0 +1,84 @@
+"""Unit tests for the physical backing store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.mem.backing import PhysicalMemory
+
+
+def test_allocate_returns_aligned_base():
+    mem = PhysicalMemory()
+    base = mem.allocate(100)
+    assert base % 64 == 0
+
+
+def test_read_back_written_bytes():
+    mem = PhysicalMemory()
+    base = mem.allocate(256)
+    mem.write(base + 10, b"hello")
+    assert mem.read(base + 10, 5) == b"hello"
+
+
+def test_fresh_allocation_is_zeroed():
+    mem = PhysicalMemory()
+    base = mem.allocate(64)
+    assert mem.read(base, 64) == bytes(64)
+
+
+def test_multiple_regions_independent():
+    mem = PhysicalMemory()
+    a = mem.allocate(64)
+    b = mem.allocate(64)
+    mem.write(a, b"A" * 64)
+    mem.write(b, b"B" * 64)
+    assert mem.read(a, 64) == b"A" * 64
+    assert mem.read(b, 64) == b"B" * 64
+
+
+def test_unmapped_access_rejected():
+    mem = PhysicalMemory()
+    with pytest.raises(SimulationError):
+        mem.read(0x10, 4)
+
+
+def test_overrun_rejected():
+    mem = PhysicalMemory()
+    base = mem.allocate(64)
+    with pytest.raises(SimulationError):
+        mem.read(base + 60, 8)
+
+
+def test_zero_size_allocation_rejected():
+    mem = PhysicalMemory()
+    with pytest.raises(SimulationError):
+        mem.allocate(0)
+
+
+def test_u64_roundtrip():
+    mem = PhysicalMemory()
+    base = mem.allocate(64)
+    mem.write_u64(base + 8, 0xDEADBEEF12345678)
+    assert mem.read_u64(base + 8) == 0xDEADBEEF12345678
+
+
+def test_u64_wraps_to_64_bits():
+    mem = PhysicalMemory()
+    base = mem.allocate(64)
+    mem.write_u64(base, 2**64 + 5)
+    assert mem.read_u64(base) == 5
+
+
+def test_custom_alignment():
+    mem = PhysicalMemory()
+    base = mem.allocate(10, align=4096)
+    assert base % 4096 == 0
+
+
+@given(st.binary(min_size=1, max_size=512), st.integers(min_value=0, max_value=64))
+def test_write_read_roundtrip(data, offset):
+    mem = PhysicalMemory()
+    base = mem.allocate(len(data) + 64)
+    mem.write(base + offset, data)
+    assert mem.read(base + offset, len(data)) == data

@@ -1,0 +1,96 @@
+"""Unit tests for the LRU cache model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.mem.cache import LruCache
+
+
+def test_insert_and_contains():
+    c = LruCache(4)
+    assert c.insert(0) is None
+    assert c.contains(0)
+    assert not c.contains(64)
+
+
+def test_touch_hit_miss_counting():
+    c = LruCache(4)
+    c.insert(0)
+    assert c.touch(0)
+    assert not c.touch(64)
+    assert c.hits == 1
+    assert c.misses == 1
+
+
+def test_eviction_is_lru_order():
+    c = LruCache(2)
+    c.insert(0)
+    c.insert(64)
+    evicted = c.insert(128)
+    assert evicted == (0, False)
+    assert not c.contains(0)
+    assert c.evictions == 1
+
+
+def test_touch_refreshes_lru():
+    c = LruCache(2)
+    c.insert(0)
+    c.insert(64)
+    c.touch(0)  # 64 becomes LRU
+    evicted = c.insert(128)
+    assert evicted == (64, False)
+
+
+def test_dirty_propagates_through_eviction():
+    c = LruCache(1)
+    c.insert(0, dirty=True)
+    evicted = c.insert(64)
+    assert evicted == (0, True)
+
+
+def test_reinsert_keeps_dirty_bit_sticky():
+    c = LruCache(2)
+    c.insert(0, dirty=True)
+    c.insert(0, dirty=False)
+    assert c.is_dirty(0)
+
+
+def test_mark_clean():
+    c = LruCache(2)
+    c.insert(0, dirty=True)
+    c.mark_clean(0)
+    assert not c.is_dirty(0)
+
+
+def test_invalidate():
+    c = LruCache(2)
+    c.insert(0)
+    assert c.invalidate(0)
+    assert not c.invalidate(0)
+    assert len(c) == 0
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(SimulationError):
+        LruCache(0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+def test_never_exceeds_capacity(accesses):
+    c = LruCache(8)
+    for a in accesses:
+        if not c.touch(a * 64):
+            c.insert(a * 64)
+        assert len(c) <= 8
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), max_size=200))
+def test_most_recent_always_resident(accesses):
+    c = LruCache(4)
+    for a in accesses:
+        addr = a * 64
+        if not c.touch(addr):
+            c.insert(addr)
+        assert c.contains(addr)

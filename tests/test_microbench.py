@@ -1,0 +1,145 @@
+"""Tests for the microbenchmark workload driver."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, SabreMode
+from repro.common.errors import ConfigError
+from repro.workloads.generators import CrewPartition, UniformPicker
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    run_microbench,
+)
+
+
+class TestGenerators:
+    def test_uniform_picker_covers_objects(self):
+        picker = UniformPicker(range(10), seed=1)
+        seen = {picker.pick() for _ in range(500)}
+        assert seen == set(range(10))
+
+    def test_uniform_picker_deterministic(self):
+        a = [UniformPicker(range(10), seed=1).pick() for _ in range(20)]
+        b = [UniformPicker(range(10), seed=1).pick() for _ in range(20)]
+        assert a == b
+
+    def test_uniform_picker_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UniformPicker([], seed=1)
+
+    def test_crew_partition_disjoint_and_complete(self):
+        part = CrewPartition(range(100), writers=7)
+        subsets = [part.subset(w) for w in range(7)]
+        combined = [obj for s in subsets for obj in s]
+        assert sorted(combined) == list(range(100))
+        assert len(set(combined)) == 100
+
+    def test_crew_zero_writers(self):
+        part = CrewPartition(range(10), writers=0)
+        assert part.subset(0) == []
+
+    def test_crew_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CrewPartition(range(10), writers=-1)
+
+
+class TestConfigValidation:
+    def test_unknown_mechanism(self):
+        with pytest.raises(ConfigError):
+            MicrobenchConfig(mechanism="nope").validate()
+
+    def test_tiny_object(self):
+        with pytest.raises(ConfigError):
+            MicrobenchConfig(object_size=8).validate()
+
+    def test_warmup_must_precede_end(self):
+        with pytest.raises(ConfigError):
+            MicrobenchConfig(duration_ns=100, warmup_ns=200).validate()
+
+    def test_payload_len(self):
+        assert MicrobenchConfig(object_size=128).payload_len == 120
+
+
+def quick(mechanism, **kw):
+    defaults = dict(
+        mechanism=mechanism,
+        object_size=256,
+        n_objects=16,
+        readers=2,
+        writers=0,
+        duration_ns=40_000.0,
+        warmup_ns=5_000.0,
+        seed=2,
+    )
+    defaults.update(kw)
+    return run_microbench(MicrobenchConfig(**defaults))
+
+
+class TestQuiescentRuns:
+    @pytest.mark.parametrize(
+        "mechanism", ["remote_read", "sabre", "percl_versions", "checksum"]
+    )
+    def test_no_writers_no_conflicts(self, mechanism):
+        result = quick(mechanism)
+        assert result.ops_completed > 10
+        assert result.sabre_aborts == 0
+        assert result.software_conflicts == 0
+        assert result.retries == 0
+        assert result.undetected_violations == 0
+
+    def test_sabre_faster_than_percl(self):
+        sabre = quick("sabre", object_size=2048)
+        percl = quick("percl_versions", object_size=2048)
+        assert sabre.mean_op_latency_ns < percl.mean_op_latency_ns
+
+    def test_checksum_slowest(self):
+        percl = quick("percl_versions", object_size=2048)
+        checksum = quick("checksum", object_size=2048)
+        assert checksum.mean_op_latency_ns > 2 * percl.mean_op_latency_ns
+
+    def test_goodput_counts_only_measurement_window(self):
+        result = quick("sabre")
+        assert result.goodput_gbps > 0
+
+
+class TestContendedRuns:
+    def test_sabre_with_writers_detects_conflicts(self):
+        result = quick("sabre", writers=4, n_objects=8, duration_ns=80_000.0)
+        assert result.writer_updates > 0
+        assert result.sabre_aborts > 0
+        assert result.retries == result.sabre_aborts
+        assert result.undetected_violations == 0
+
+    def test_percl_with_writers_detects_conflicts(self):
+        result = quick(
+            "percl_versions", writers=4, n_objects=8, duration_ns=80_000.0
+        )
+        assert result.software_conflicts > 0
+        assert result.undetected_violations == 0
+
+    def test_locking_mode_never_aborts(self):
+        result = quick(
+            "sabre",
+            writers=2,
+            n_objects=16,
+            duration_ns=80_000.0,
+            writer_think_ns=500.0,
+            cluster=ClusterConfig().with_sabre_mode(SabreMode.LOCKING),
+        )
+        assert result.sabre_aborts == 0
+        assert result.undetected_violations == 0
+        assert result.ops_completed > 0
+
+    def test_no_speculation_safe_under_writers(self):
+        result = quick(
+            "sabre",
+            writers=4,
+            n_objects=8,
+            duration_ns=80_000.0,
+            cluster=ClusterConfig().with_sabre_mode(SabreMode.NO_SPECULATION),
+        )
+        assert result.undetected_violations == 0
+
+    def test_async_window_transport_mode(self):
+        result = quick("sabre", async_window=4, readers=4)
+        assert result.ops_completed > 20
+        assert result.goodput_gbps > 0

@@ -1,0 +1,71 @@
+"""Unit tests for the 2D mesh model."""
+
+import pytest
+
+from repro.common.config import NocConfig
+from repro.common.errors import ConfigError
+from repro.noc.mesh import Mesh
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(NocConfig())
+
+
+def test_coord_layout(mesh):
+    assert mesh.coord(0) == (0, 0)
+    assert mesh.coord(3) == (3, 0)
+    assert mesh.coord(4) == (0, 1)
+    assert mesh.coord(15) == (3, 3)
+
+
+def test_coord_out_of_range(mesh):
+    with pytest.raises(ConfigError):
+        mesh.coord(16)
+
+
+def test_hops_manhattan(mesh):
+    assert mesh.hops(0, 0) == 0
+    assert mesh.hops(0, 15) == 6
+    assert mesh.hops(5, 6) == 1
+
+
+def test_hop_latency_matches_table2(mesh):
+    # 3 cycles/hop at 2 GHz = 1.5 ns/hop.
+    assert mesh.latency_ns(0, 1) == pytest.approx(1.5)
+    assert mesh.latency_ns(0, 15) == pytest.approx(9.0)
+
+
+def test_payload_serialization_adds_flits(mesh):
+    # 64 B on 16 B links: 4 flits -> 3 extra link cycles at 2 GHz.
+    base = mesh.latency_ns(0, 1)
+    with_payload = mesh.latency_ns(0, 1, payload_bytes=64)
+    assert with_payload == pytest.approx(base + 3 / 2.0)
+
+
+def test_small_payload_fits_one_flit(mesh):
+    assert mesh.latency_ns(0, 1, payload_bytes=16) == mesh.latency_ns(0, 1)
+
+
+def test_llc_bank_interleaving(mesh):
+    banks = {mesh.llc_bank_tile(64 * i) for i in range(16)}
+    assert banks == set(range(16))
+    assert mesh.llc_bank_tile(64) == mesh.llc_bank_tile(64 + 63)
+
+
+def test_mc_tiles_on_edges(mesh):
+    for ch in range(4):
+        x, _ = mesh.coord(mesh.mc_tile(ch))
+        assert x in (0, 3)
+
+
+def test_rmc_tiles_on_top_row(mesh):
+    for backend in range(4):
+        tile = mesh.rmc_tile(backend)
+        assert mesh.coord(tile)[1] == 0
+    assert len({mesh.rmc_tile(b) for b in range(4)}) == 4
+
+
+def test_mean_hops_symmetricish(mesh):
+    # Mean distance to a corner exceeds mean distance to the center.
+    assert mesh.mean_hops_to(0) > mesh.mean_hops_to(5)

@@ -1,0 +1,104 @@
+"""Tests for RPC over soNUMA messaging."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.sonuma.node import Cluster
+from repro.sonuma.rpc import RpcEndpoint
+
+
+def make_pair():
+    cluster = Cluster()
+    a = RpcEndpoint(cluster.node(0), workers=1)
+    b = RpcEndpoint(cluster.node(1), workers=1)
+    return cluster, a, b
+
+
+def test_round_trip():
+    cluster, a, b = make_pair()
+    a.register("echo", lambda payload: (payload[::-1], 10.0))
+    replies = []
+
+    def client():
+        reply = yield b.call(0, "echo", b"hello")
+        replies.append(reply)
+
+    cluster.sim.process(client())
+    cluster.run()
+    assert replies == [b"olleh"]
+    assert a.served == 1
+
+
+def test_rpc_latency_includes_dispatch_and_service():
+    cluster, a, b = make_pair()
+    a.register("work", lambda payload: (b"", 500.0))
+    times = []
+
+    def client():
+        yield b.call(0, "work", b"x")
+        times.append(cluster.sim.now)
+
+    cluster.sim.process(client())
+    cluster.run()
+    # 2 fabric hops (70 ns) + dispatch (180) + service (500) at least.
+    assert times[0] >= 750.0
+
+
+def test_workers_serialize_requests():
+    cluster, a, b = make_pair()
+    a.register("slow", lambda payload: (b"", 1000.0))
+    finish = []
+
+    def client(i):
+        yield b.call(0, "slow", bytes([i]))
+        finish.append(cluster.sim.now)
+
+    for i in range(3):
+        cluster.sim.process(client(i))
+    cluster.run()
+    assert len(finish) == 3
+    # One worker: service periods cannot overlap.
+    assert finish[1] - finish[0] >= 1000.0
+    assert finish[2] - finish[1] >= 1000.0
+
+
+def test_parallel_workers_overlap():
+    cluster = Cluster()
+    a = RpcEndpoint(cluster.node(0), workers=3)
+    b = RpcEndpoint(cluster.node(1), workers=1)
+    a.register("slow", lambda payload: (b"", 1000.0))
+    finish = []
+
+    def client(i):
+        yield b.call(0, "slow", bytes([i]))
+        finish.append(cluster.sim.now)
+
+    for i in range(3):
+        cluster.sim.process(client(i))
+    cluster.run()
+    assert max(finish) - min(finish) < 1000.0
+
+
+def test_unknown_handler_raises():
+    cluster, a, b = make_pair()
+    calls = []
+
+    def client():
+        reply = yield b.call(0, "missing", b"")
+        calls.append(reply)
+
+    cluster.sim.process(client())
+    with pytest.raises(ProtocolError):
+        cluster.run()
+
+
+def test_node_without_endpoint_rejects_rpc():
+    cluster = Cluster()
+    b = RpcEndpoint(cluster.node(1), workers=1)
+
+    def client():
+        yield b.call(0, "anything", b"")
+
+    cluster.sim.process(client())
+    with pytest.raises(ProtocolError):
+        cluster.run()

@@ -1,0 +1,193 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Interrupt, Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_later_ordering():
+    sim = Simulator()
+    order = []
+    sim.call_later(5.0, lambda: order.append("b"))
+    sim.call_later(1.0, lambda: order.append("a"))
+    sim.call_later(9.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_fifo_among_equal_times():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.call_later(3.0, lambda i=i: order.append(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_later(-1.0, lambda: None)
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    fired = []
+    sim.call_later(10.0, lambda: fired.append(1))
+    stopped = sim.run(until=5.0)
+    assert stopped == 5.0
+    assert fired == []
+    sim.run()
+    assert fired == [1]
+
+
+def test_timeout_process():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(4.0)
+        seen.append(sim.now)
+        yield sim.timeout(6.0)
+        seen.append(sim.now)
+        return "done"
+
+    p = sim.process(proc())
+    sim.run()
+    assert seen == [4.0, 10.0]
+    assert p.triggered
+    assert p.value == "done"
+
+
+def test_process_waits_on_event():
+    sim = Simulator()
+    gate = sim.event()
+    seen = []
+
+    def opener():
+        yield sim.timeout(7.0)
+        gate.succeed("opened")
+
+    def waiter():
+        value = yield gate
+        seen.append((sim.now, value))
+
+    sim.process(opener())
+    sim.process(waiter())
+    sim.run()
+    assert seen == [(7.0, "opened")]
+
+
+def test_event_double_succeed_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_late_callback_on_triggered_event_still_fires():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(42)
+    seen = []
+    sim.run()
+    ev.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == [42]
+
+
+def test_process_waiting_on_process():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield sim.timeout(3.0)
+        return "child-result"
+
+    def parent():
+        result = yield sim.process(child())
+        log.append((sim.now, result))
+
+    sim.process(parent())
+    sim.run()
+    assert log == [(3.0, "child-result")]
+
+
+def test_all_of_barrier():
+    sim = Simulator()
+    log = []
+
+    def waiter():
+        yield sim.all_of([sim.timeout(2.0), sim.timeout(8.0), sim.timeout(5.0)])
+        log.append(sim.now)
+
+    sim.process(waiter())
+    sim.run()
+    assert log == [8.0]
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+    log = []
+
+    def waiter():
+        yield sim.all_of([])
+        log.append(sim.now)
+
+    sim.process(waiter())
+    sim.run()
+    assert log == [0.0]
+
+
+def test_interrupt_breaks_wait():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    p = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(4.0)
+        p.interrupt("wake-up")
+
+    sim.process(interrupter())
+    sim.run()
+    assert log == [("interrupted", 4.0, "wake-up")]
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-0.5)
+
+
+def test_peek():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.call_later(3.5, lambda: None)
+    assert sim.peek() == 3.5

@@ -1,0 +1,224 @@
+"""Integration tests: two-node soNUMA transport (remote reads, SABRes,
+timing invariants, protocol bookkeeping)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import ClusterConfig, SabreMode
+from repro.common.errors import SimulationError
+from repro.objstore.layout import RawLayout, stamped_payload
+from repro.objstore.store import ObjectStore
+from repro.sonuma.node import Cluster
+from repro.sonuma.transfer import OpKind
+
+
+def two_nodes(mode=SabreMode.SPECULATIVE, **sabre_kwargs):
+    cfg = ClusterConfig().with_sabre_mode(mode)
+    if sabre_kwargs:
+        sabre = dataclasses.replace(cfg.node.sabre, **sabre_kwargs)
+        node = dataclasses.replace(cfg.node, sabre=sabre)
+        cfg = dataclasses.replace(cfg, node=node)
+    return Cluster(cfg)
+
+
+def make_object(cluster, payload_len=1000, version=4, obj_id=1):
+    store = ObjectStore(cluster.node(0).phys, RawLayout())
+    store.create(obj_id, stamped_payload(version, payload_len), version=version)
+    return store, store.handle(obj_id)
+
+
+def run_op(cluster, op_name, handle, obj_version, payload_len):
+    src = cluster.node(1)
+    buf = src.alloc_buffer(handle.wire_size)
+    results = []
+
+    def proc():
+        op = getattr(src, op_name)
+        result = yield op(0, handle.base_addr, handle.wire_size, buf)
+        results.append(result)
+
+    cluster.sim.process(proc())
+    cluster.run()
+    raw = src.read_local(buf, handle.wire_size)
+    strip = RawLayout().unpack(raw, payload_len)
+    return results[0], strip
+
+
+class TestRemoteRead:
+    def test_returns_correct_bytes(self):
+        cluster = two_nodes()
+        store, handle = make_object(cluster)
+        result, strip = run_op(cluster, "remote_read", handle, 4, 1000)
+        assert result.success
+        assert result.op is OpKind.REMOTE_READ
+        assert strip.version == 4
+        assert strip.data == stamped_payload(4, 1000)
+
+    def test_timings_are_ordered(self):
+        cluster = two_nodes()
+        store, handle = make_object(cluster)
+        result, _ = run_op(cluster, "remote_read", handle, 4, 1000)
+        t = result.timings
+        assert t.posted <= t.pickup <= t.first_request <= t.last_reply
+        assert t.last_reply < t.completed
+        assert t.end_to_end_ns > 100.0  # at least one memory round trip
+
+    def test_single_block_latency_in_paper_range(self):
+        """Fig. 7a: one-block reads land around 200 ns (3-4x of a ~90 ns
+        local memory access) on the modeled system."""
+        cluster = two_nodes()
+        store = ObjectStore(cluster.node(0).phys, RawLayout())
+        store.create(1, stamped_payload(2, 56), version=2)
+        handle = store.handle(1)
+        result, _ = run_op(cluster, "remote_read", handle, 2, 56)
+        assert 150.0 <= result.timings.end_to_end_ns <= 320.0
+
+    def test_larger_reads_scale_sublinearly(self):
+        cluster = two_nodes()
+        store = ObjectStore(cluster.node(0).phys, RawLayout())
+        store.create(1, stamped_payload(2, 56), version=2)
+        store.create(2, stamped_payload(2, 8184), version=2)
+        small, _ = run_op(cluster, "remote_read", store.handle(1), 2, 56)
+        cluster2 = two_nodes()
+        store2 = ObjectStore(cluster2.node(0).phys, RawLayout())
+        store2.create(2, stamped_payload(2, 8184), version=2)
+        big, _ = run_op(cluster2, "remote_read", store2.handle(2), 2, 8184)
+        ratio = big.timings.end_to_end_ns / small.timings.end_to_end_ns
+        # 128x the data in far less than 128x (or even 8x) the time.
+        assert ratio < 8.0
+
+    def test_zero_size_rejected(self):
+        cluster = two_nodes()
+        with pytest.raises(SimulationError):
+            cluster.node(1).remote_read(0, 0x1000, 0, 0x2000)
+
+    def test_self_target_rejected(self):
+        cluster = two_nodes()
+        with pytest.raises(SimulationError):
+            cluster.node(0).remote_read(0, 0x1000, 64, 0x2000)
+
+
+class TestSabre:
+    @pytest.mark.parametrize(
+        "mode",
+        [SabreMode.SPECULATIVE, SabreMode.NO_SPECULATION, SabreMode.LOCKING],
+    )
+    def test_quiescent_sabre_succeeds_with_correct_bytes(self, mode):
+        cluster = two_nodes(mode)
+        store, handle = make_object(cluster)
+        result, strip = run_op(cluster, "sabre_read", handle, 4, 1000)
+        assert result.success
+        assert result.op is OpKind.SABRE
+        assert strip.data == stamped_payload(4, 1000)
+        assert cluster.node(0).counters.get("sabre_successes") == 1
+        assert cluster.node(0).counters.get("sabre_aborts") == 0
+
+    def test_validation_carries_version(self):
+        cluster = two_nodes()
+        store, handle = make_object(cluster, version=6)
+        result, _ = run_op(cluster, "sabre_read", handle, 6, 1000)
+        assert result.remote_version == 6
+
+    def test_sabre_on_locked_object_fails(self):
+        """An odd header version means a writer holds the object: the
+        R2P2 aborts and software sees success=False (§5.1)."""
+        cluster = two_nodes()
+        store, handle = make_object(cluster, version=4)
+        # Lock the object in place (odd version).
+        cluster.node(0).phys.write_u64(handle.base_addr, 5)
+        result, _ = run_op(cluster, "sabre_read", handle, 5, 1000)
+        assert not result.success
+        assert cluster.node(0).counters.get("abort_locked_version") == 1
+
+    def test_sabre_latency_close_to_remote_read(self):
+        """Fig. 7a: LightSABRes match remote reads for small objects."""
+        cluster = two_nodes()
+        store, handle = make_object(cluster, payload_len=120)
+        sabre, _ = run_op(cluster, "sabre_read", handle, 4, 120)
+        cluster2 = two_nodes()
+        store2, handle2 = make_object(cluster2, payload_len=120)
+        read, _ = run_op(cluster2, "remote_read", handle2, 4, 120)
+        delta = abs(sabre.timings.end_to_end_ns - read.timings.end_to_end_ns)
+        assert delta <= 0.15 * read.timings.end_to_end_ns
+
+    def test_no_speculation_pays_serialization(self):
+        """§3.2/§7.1: serializing the version read adds roughly one
+        memory access (~90 ns) to a multi-block SABRe."""
+        lat = {}
+        for mode in (SabreMode.SPECULATIVE, SabreMode.NO_SPECULATION):
+            cluster = two_nodes(mode)
+            store, handle = make_object(cluster, payload_len=1000)
+            result, _ = run_op(cluster, "sabre_read", handle, 4, 1000)
+            assert result.success
+            lat[mode] = result.timings.end_to_end_ns
+        penalty = lat[SabreMode.NO_SPECULATION] - lat[SabreMode.SPECULATIVE]
+        assert 50.0 <= penalty <= 150.0
+
+    def test_att_backpressure_with_one_stream_buffer(self):
+        cfg = ClusterConfig().with_sabre_mode(SabreMode.SPECULATIVE)
+        sabre = dataclasses.replace(cfg.node.sabre, stream_buffers=1)
+        rmc = dataclasses.replace(cfg.node.rmc, backends=1)
+        node = dataclasses.replace(cfg.node, sabre=sabre, rmc=rmc)
+        cfg = dataclasses.replace(cfg, node=node)
+        cluster = Cluster(cfg)
+        store = ObjectStore(cluster.node(0).phys, RawLayout())
+        for i in range(4):
+            store.create(i, stamped_payload(2, 2000), version=2)
+        src = cluster.node(1)
+        done = []
+
+        def proc(i):
+            h = store.handle(i)
+            buf = src.alloc_buffer(h.wire_size)
+            result = yield src.sabre_read(0, h.base_addr, h.wire_size, buf)
+            done.append(result.success)
+
+        for i in range(4):
+            cluster.sim.process(proc(i))
+        cluster.run()
+        assert done == [True] * 4
+        assert cluster.node(0).counters.get("att_backpressure") > 0
+
+    def test_concurrent_sabres_all_complete(self):
+        cluster = two_nodes()
+        store = ObjectStore(cluster.node(0).phys, RawLayout())
+        n = 24
+        for i in range(n):
+            store.create(i, stamped_payload(2, 500), version=2)
+        src = cluster.node(1)
+        done = []
+
+        def proc(i):
+            h = store.handle(i)
+            buf = src.alloc_buffer(h.wire_size)
+            result = yield src.sabre_read(0, h.base_addr, h.wire_size, buf)
+            done.append(result.success)
+
+        for i in range(n):
+            cluster.sim.process(proc(i))
+        cluster.run()
+        assert done == [True] * n
+
+
+class TestPageBoundary:
+    def test_window_stalls_at_page_boundary(self):
+        """§4.1: the unroll may not cross a page boundary during the
+        window of vulnerability; the SABRe stalls, then completes."""
+        cfg = ClusterConfig()
+        node = dataclasses.replace(cfg.node, page_bytes=4096)
+        cfg = dataclasses.replace(cfg, node=node)
+        cluster = Cluster(cfg)
+        dst = cluster.node(0)
+        # Position an object so it straddles a 4 KB page boundary early.
+        pad = 4096 - (dst.phys.allocate(64) % 4096) - 128
+        if pad > 0:
+            dst.phys.allocate(pad)
+        store = ObjectStore(dst.phys, RawLayout())
+        store.create(1, stamped_payload(2, 4000), version=2)
+        handle = store.handle(1)
+        assert (handle.base_addr // 4096) != ((handle.base_addr + handle.wire_size - 1) // 4096)
+        result, strip = run_op(cluster, "sabre_read", handle, 2, 4000)
+        assert result.success
+        assert strip.data == stamped_payload(2, 4000)
+        assert dst.counters.get("page_boundary_stalls") > 0

@@ -1,0 +1,126 @@
+"""Unit tests for the object store and writer update plans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.mem.backing import PhysicalMemory
+from repro.objstore.layout import (
+    PerCacheLineLayout,
+    RawLayout,
+    is_locked,
+    stamped_payload,
+)
+from repro.objstore.store import ObjectStore
+
+
+def make_store(layout=None):
+    return ObjectStore(PhysicalMemory(), layout or RawLayout())
+
+
+class TestCreateAndRead:
+    def test_create_then_read(self):
+        store = make_store()
+        store.create(1, b"hello")
+        result = store.read(1)
+        assert result.ok and result.data == b"hello" and result.version == 0
+
+    def test_objects_are_block_aligned(self):
+        store = make_store()
+        for i in range(5):
+            h = store.create(i, bytes(10))
+            assert h.base_addr % 64 == 0
+
+    def test_duplicate_id_rejected(self):
+        store = make_store()
+        store.create(1, b"x")
+        with pytest.raises(SimulationError):
+            store.create(1, b"y")
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(SimulationError):
+            make_store().read(99)
+
+    def test_odd_initial_version_rejected(self):
+        with pytest.raises(SimulationError):
+            make_store().create(1, b"x", version=3)
+
+    def test_find_by_base(self):
+        store = make_store()
+        h = store.create(1, b"x")
+        assert store.find_by_base(h.base_addr) == h
+        assert store.find_by_base(h.base_addr + 64) is None
+
+
+class TestUpdates:
+    def test_functional_write_bumps_version_by_two(self):
+        store = make_store()
+        store.create(1, b"aaaa")
+        new_version = store.write(1, b"bbbb")
+        assert new_version == 2
+        result = store.read(1)
+        assert result.ok and result.data == b"bbbb"
+
+    def test_size_change_rejected(self):
+        store = make_store()
+        store.create(1, b"aaaa")
+        with pytest.raises(SimulationError):
+            store.write(1, b"too long")
+
+    def test_update_steps_order_header_first_commit_last(self):
+        store = make_store()
+        h = store.create(1, bytes(100))
+        steps, committed = store.update_steps(1, b"z" * 100)
+        assert committed == 2
+        # First step: header goes odd at the version address.
+        addr0, bytes0 = steps[0]
+        assert addr0 == store.version_addr(1)
+        assert is_locked(int.from_bytes(bytes0, "little"))
+        # Last step: header goes even.
+        addr_last, bytes_last = steps[-1]
+        assert addr_last == store.version_addr(1)
+        assert int.from_bytes(bytes_last, "little") == 2
+        # Middle steps cover the whole wire image.
+        covered = sum(len(b) for _, b in steps[1:-1])
+        assert covered == h.wire_size
+
+    def test_partial_replay_leaves_locked_object(self):
+        """Stopping mid-plan must leave a detectably-inconsistent object."""
+        store = make_store(PerCacheLineLayout())
+        store.create(1, stamped_payload(0, 200))
+        steps, _ = store.update_steps(1, stamped_payload(2, 200))
+        for addr, chunk in steps[: len(steps) // 2]:
+            store.phys.write(addr, chunk)
+        assert not store.read(1).ok
+
+    def test_full_replay_commits(self):
+        store = make_store(PerCacheLineLayout())
+        store.create(1, stamped_payload(0, 200))
+        steps, committed = store.update_steps(1, stamped_payload(2, 200))
+        for addr, chunk in steps:
+            store.phys.write(addr, chunk)
+        result = store.read(1)
+        assert result.ok and result.version == committed == 2
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=600), st.integers(min_value=1, max_value=5))
+    def test_repeated_updates_monotone_versions(self, size, rounds):
+        store = make_store()
+        store.create(1, bytes(size))
+        versions = [store.write(1, bytes(size)) for _ in range(rounds)]
+        assert versions == [2 * (i + 1) for i in range(rounds)]
+
+
+class TestHandles:
+    def test_num_blocks(self):
+        store = make_store()
+        h = store.create(1, bytes(120))  # wire = 128 -> 2 blocks
+        assert h.num_blocks == 2
+
+    def test_object_ids(self):
+        store = make_store()
+        store.create(5, b"x")
+        store.create(9, b"y")
+        assert sorted(store.object_ids()) == [5, 9]
+        assert len(store) == 2

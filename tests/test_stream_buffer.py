@@ -1,0 +1,112 @@
+"""Unit tests for stream buffers (address-range snooping, §4.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.core.stream_buffer import StreamBuffer
+
+
+def test_assign_and_release():
+    sb = StreamBuffer(depth=8)
+    assert not sb.busy
+    sb.assign(0x1000, 4)
+    assert sb.busy
+    assert sb.base_block == 0x1000
+    sb.release()
+    assert not sb.busy
+
+
+def test_double_assign_rejected():
+    sb = StreamBuffer(depth=8)
+    sb.assign(0x1000, 2)
+    with pytest.raises(SimulationError):
+        sb.assign(0x2000, 2)
+
+
+def test_bad_depth_rejected():
+    with pytest.raises(SimulationError):
+        StreamBuffer(depth=0)
+
+
+def test_bad_total_rejected():
+    sb = StreamBuffer(depth=8)
+    with pytest.raises(SimulationError):
+        sb.assign(0x1000, 0)
+
+
+class TestSubtractor:
+    def test_slot_lookup_by_arithmetic(self):
+        sb = StreamBuffer(depth=8)
+        sb.assign(0x1000, 4)
+        assert sb.slot_of(0x1000) == 0
+        assert sb.slot_of(0x1040) == 1
+        assert sb.slot_of(0x10C0) == 3
+
+    def test_outside_range_no_match(self):
+        sb = StreamBuffer(depth=8)
+        sb.assign(0x1000, 4)
+        assert sb.slot_of(0x0FC0) is None  # below base
+        assert sb.slot_of(0x1100) is None  # past the 4 tracked blocks
+        assert sb.slot_of(0x1001) is None  # unaligned
+
+    def test_tracking_limited_to_depth(self):
+        """SABRes longer than the buffer only track ``depth`` blocks:
+        the unroll stage stalls past that during the window (§4.1)."""
+        sb = StreamBuffer(depth=4)
+        sb.assign(0x1000, 100)
+        assert sb.tracked_slots == 4
+        assert sb.slot_of(0x1000 + 3 * 64) == 3
+        assert sb.slot_of(0x1000 + 4 * 64) is None
+
+    def test_unassigned_matches_nothing(self):
+        sb = StreamBuffer(depth=4)
+        assert sb.slot_of(0x1000) is None
+        assert not sb.matches(0x1000)
+
+
+class TestIssueTracking:
+    def test_issue_and_receive(self):
+        sb = StreamBuffer(depth=8)
+        sb.assign(0x1000, 3)
+        sb.mark_issued(0)
+        sb.mark_issued(1)
+        assert sb.is_issued(0) and sb.is_issued(1) and not sb.is_issued(2)
+        assert sb.mark_received(0x1040)
+        assert sb.is_received(1)
+        assert not sb.is_received(0)
+
+    def test_cannot_issue_past_tracked(self):
+        sb = StreamBuffer(depth=2)
+        sb.assign(0x1000, 8)
+        assert sb.can_issue(0) and sb.can_issue(1)
+        assert not sb.can_issue(2)
+        with pytest.raises(SimulationError):
+            sb.mark_issued(2)
+
+    def test_receive_outside_range_ignored(self):
+        sb = StreamBuffer(depth=4)
+        sb.assign(0x1000, 2)
+        assert not sb.mark_received(0x5000)
+
+    def test_is_base(self):
+        sb = StreamBuffer(depth=4)
+        sb.assign(0x1000, 2)
+        assert sb.is_base(0x1000)
+        assert not sb.is_base(0x1040)
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 20).map(lambda v: v * 64),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=64),
+)
+def test_slot_arithmetic_property(base, total, depth):
+    sb = StreamBuffer(depth=depth)
+    sb.assign(base, total)
+    tracked = min(depth, total)
+    for slot in range(tracked):
+        assert sb.slot_of(base + slot * 64) == slot
+    assert sb.slot_of(base + tracked * 64) is None
+    assert sb.slot_of(base - 64) is None
