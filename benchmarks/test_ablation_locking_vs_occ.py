@@ -4,48 +4,18 @@ For read-dominated workloads OCC wins: locking serializes readers
 against writers (the R2P2 spins on write-locked objects) while
 optimistic SABRes proceed and rarely retry.  Locking's consolation:
 it never aborts.
+
+Runs the registered ``ablation_locking_vs_occ`` experiment spec.
 """
 
 from conftest import bench_scale, run_once, show
 
-from repro.common.config import ClusterConfig, SabreMode
-from repro.harness.report import format_table, scaled_duration
-from repro.workloads.microbench import MicrobenchConfig, run_microbench
-
-
-def _run(mode: SabreMode, scale: float):
-    result = run_microbench(
-        MicrobenchConfig(
-            mechanism="sabre",
-            object_size=1024,
-            n_objects=64,
-            readers=8,
-            writers=2,
-            writer_think_ns=1000.0,
-            duration_ns=scaled_duration(100_000.0, scale),
-            warmup_ns=12_000.0,
-            cluster=ClusterConfig().with_sabre_mode(mode),
-        )
-    )
-    return {
-        "mode": mode.value,
-        "goodput_gbps": result.goodput_gbps,
-        "mean_latency_ns": result.mean_op_latency_ns,
-        "aborts": result.sabre_aborts,
-        "lock_waits": result.destination_counters.get("lock_waits", 0),
-        "torn_reads": result.undetected_violations,
-    }
-
-
-def _sweep(scale: float):
-    return [
-        _run(mode, scale)
-        for mode in (SabreMode.SPECULATIVE, SabreMode.LOCKING)
-    ]
+from repro.experiments.ablations import run_ablation
+from repro.harness.report import format_table
 
 
 def test_locking_vs_occ(benchmark, scale):
-    rows = run_once(benchmark, _sweep, bench_scale())
+    rows = run_once(benchmark, run_ablation, "ablation_locking_vs_occ", bench_scale())
     show(
         "Ablation: destination-side OCC vs locking (8 readers, 2 writers)",
         format_table(

@@ -6,31 +6,21 @@ would need multi-R2P2 atomicity coordination).  This bench quantifies
 the cost of that choice: the pinned SABRe vs the per-block-striped
 remote read (a lower bound on any striped-SABRe design — it does the
 same data movement with zero atomicity work).
+
+Runs the registered ``ablation_r2p2_distribution`` experiment spec
+(which reuses the fig7a point function on a 3-size grid).
 """
 
 from conftest import bench_scale, run_once, show
 
-from repro.harness.fig7 import run_fig7a
+from repro.experiments.ablations import run_ablation
 from repro.harness.report import format_table
 
 
-def _sweep(scale: float):
-    headers, rows = run_fig7a(scale=scale, sizes=(512, 2048, 8192))
-    out = []
-    for row in rows:
-        out.append(
-            {
-                "object_size": row["object_size"],
-                "pinned_sabre_ns": row["sabre_ns"],
-                "striped_lower_bound_ns": row["remote_read_ns"],
-                "pinning_cost": row["sabre_ns"] / row["remote_read_ns"] - 1.0,
-            }
-        )
-    return out
-
-
 def test_r2p2_distribution(benchmark, scale):
-    rows = run_once(benchmark, _sweep, bench_scale())
+    rows = run_once(
+        benchmark, run_ablation, "ablation_r2p2_distribution", bench_scale()
+    )
     show(
         "Ablation: single-R2P2 pinning vs striped lower bound",
         format_table(
@@ -39,7 +29,6 @@ def test_r2p2_distribution(benchmark, scale):
             rows,
         ),
     )
-    by_size = {r["object_size"]: r for r in rows}
     # The pinning cost is small at every size (paper: a few percent,
     # visible only above 2 KB) — the design choice is cheap.
     for row in rows:

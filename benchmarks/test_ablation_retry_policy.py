@@ -5,49 +5,18 @@ and can only ever be attempted before any reply has left (the
 request-reply invariant).  This bench quantifies both policies under
 contention: hardware retry salvages some conflicts (fewer CQ failures)
 but cannot eliminate retries and keeps the R2P2 busy longer.
-"""
 
-import dataclasses
+Runs the registered ``ablation_retry_policy`` experiment spec.
+"""
 
 from conftest import bench_scale, run_once, show
 
-from repro.common.config import ClusterConfig
-from repro.harness.report import format_table, scaled_duration
-from repro.workloads.microbench import MicrobenchConfig, run_microbench
-
-
-def _run(hardware_retry: bool, scale: float):
-    cfg = ClusterConfig()
-    sabre = dataclasses.replace(cfg.node.sabre, hardware_retry=hardware_retry)
-    node = dataclasses.replace(cfg.node, sabre=sabre)
-    cfg = dataclasses.replace(cfg, node=node)
-    result = run_microbench(
-        MicrobenchConfig(
-            mechanism="sabre",
-            object_size=512,
-            n_objects=24,
-            readers=8,
-            writers=6,
-            duration_ns=scaled_duration(100_000.0, scale),
-            warmup_ns=12_000.0,
-            cluster=cfg,
-        )
-    )
-    return {
-        "policy": "hardware_retry" if hardware_retry else "software_abort",
-        "goodput_gbps": result.goodput_gbps,
-        "cq_failures": result.sabre_aborts,
-        "hw_retries": result.destination_counters.get("hardware_retries", 0),
-        "torn_reads": result.undetected_violations,
-    }
-
-
-def _sweep(scale: float):
-    return [_run(False, scale), _run(True, scale)]
+from repro.experiments.ablations import run_ablation
+from repro.harness.report import format_table
 
 
 def test_retry_policy(benchmark, scale):
-    rows = run_once(benchmark, _sweep, bench_scale())
+    rows = run_once(benchmark, run_ablation, "ablation_retry_policy", bench_scale())
     show(
         "Ablation: abort exposure policy under contention",
         format_table(

@@ -5,51 +5,20 @@ services (its motivating workload) are heavily skewed.  Hot keys
 concentrate reader-writer conflicts, raising abort/retry rates — this
 bench shows the SABRe advantage survives the hostile regime and that
 atomicity still holds.
+
+Runs the registered ``ablation_skewed_access`` experiment spec.
 """
 
 from conftest import bench_scale, run_once, show
 
-from repro.harness.report import format_table, scaled_duration
-from repro.workloads.microbench import MicrobenchConfig, run_microbench
+from repro.experiments.ablations import run_ablation
+from repro.harness.report import format_table
 
 THETAS = (0.0, 0.99)
 
 
-def _run(mechanism: str, theta: float, scale: float):
-    result = run_microbench(
-        MicrobenchConfig(
-            mechanism=mechanism,
-            object_size=1024,
-            n_objects=100,
-            readers=16,
-            writers=8,
-            writer_think_ns=1500.0,
-            zipf_theta=theta,
-            duration_ns=scaled_duration(100_000.0, scale),
-            warmup_ns=12_000.0,
-            seed=41,
-        )
-    )
-    return {
-        "zipf_theta": theta,
-        "mechanism": mechanism,
-        "goodput_gbps": result.goodput_gbps,
-        "conflicts": result.sabre_aborts + result.software_conflicts,
-        "ops": result.ops_completed,
-        "torn_reads": result.undetected_violations,
-    }
-
-
-def _sweep(scale: float):
-    rows = []
-    for theta in THETAS:
-        for mechanism in ("sabre", "percl_versions"):
-            rows.append(_run(mechanism, theta, scale))
-    return rows
-
-
 def test_skewed_access(benchmark, scale):
-    rows = run_once(benchmark, _sweep, bench_scale())
+    rows = run_once(benchmark, run_ablation, "ablation_skewed_access", bench_scale())
     show(
         "Ablation: uniform vs Zipfian key popularity (1 KB, 8 writers)",
         format_table(

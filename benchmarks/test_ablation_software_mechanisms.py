@@ -3,40 +3,22 @@
 Pilaf's checksums cost ~a dozen CPU cycles per byte; FaRM's
 per-cache-line versions are far cheaper but still scale with object
 size and break zero-copy.  LightSABRes remove the check entirely.
+
+Runs the registered ``ablation_software_mechanisms`` experiment spec.
 """
 
 from conftest import bench_scale, run_once, show
 
-from repro.harness.report import format_table, scaled_duration
-from repro.workloads.microbench import MicrobenchConfig, run_microbench
+from repro.experiments.ablations import run_ablation
+from repro.harness.report import format_table
 
 MECHANISMS = ("sabre", "percl_versions", "checksum")
 
 
-def _run(mechanism: str, scale: float):
-    result = run_microbench(
-        MicrobenchConfig(
-            mechanism=mechanism,
-            object_size=2048,
-            n_objects=256,
-            readers=2,
-            duration_ns=scaled_duration(80_000.0, scale),
-            warmup_ns=10_000.0,
-        )
-    )
-    return {
-        "mechanism": mechanism,
-        "mean_latency_ns": result.mean_op_latency_ns,
-        "goodput_gbps": result.goodput_gbps,
-    }
-
-
-def _sweep(scale: float):
-    return [_run(m, scale) for m in MECHANISMS]
-
-
 def test_software_mechanism_ladder(benchmark, scale):
-    rows = run_once(benchmark, _sweep, bench_scale())
+    rows = run_once(
+        benchmark, run_ablation, "ablation_software_mechanisms", bench_scale()
+    )
     show(
         "Ablation: atomicity mechanism cost ladder (2 KB objects)",
         format_table(("mechanism", "mean_latency_ns", "goodput_gbps"), rows),

@@ -5,46 +5,20 @@ Source locking acquires the object's version-word lock with a remote
 CAS and releases it with a remote write: two extra network round trips
 per read, the drawback that motivates OCC — and, once software checks
 become the bottleneck too, hardware SABRes.
+
+Runs the registered ``ablation_source_locking`` experiment spec.
 """
 
 from conftest import bench_scale, run_once, show
 
-from repro.harness.report import format_table, scaled_duration
-from repro.workloads.microbench import MicrobenchConfig, run_microbench
+from repro.experiments.ablations import run_ablation
+from repro.harness.report import format_table
 
 MECHANISMS = ("sabre", "percl_versions", "drtm_lock")
 
 
-def _run(mechanism: str, scale: float):
-    result = run_microbench(
-        MicrobenchConfig(
-            mechanism=mechanism,
-            object_size=512,
-            n_objects=64,
-            readers=4,
-            writers=2,
-            writer_think_ns=800.0,
-            duration_ns=scaled_duration(100_000.0, scale),
-            warmup_ns=12_000.0,
-            seed=13,
-        )
-    )
-    return {
-        "mechanism": mechanism,
-        "mean_latency_ns": result.mean_op_latency_ns,
-        "goodput_gbps": result.goodput_gbps,
-        "retries": result.retries + result.sabre_aborts
-        + result.software_conflicts,
-        "torn_reads": result.undetected_violations,
-    }
-
-
-def _sweep(scale: float):
-    return [_run(m, scale) for m in MECHANISMS]
-
-
 def test_source_locking_vs_alternatives(benchmark, scale):
-    rows = run_once(benchmark, _sweep, bench_scale())
+    rows = run_once(benchmark, run_ablation, "ablation_source_locking", bench_scale())
     show(
         "Ablation: Table 1 cells on one workload (512 B, 4 readers, 2 writers)",
         format_table(

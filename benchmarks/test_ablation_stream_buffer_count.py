@@ -3,57 +3,20 @@
 The number of stream buffers caps concurrent SABRes per R2P2.  With
 many threads issuing small SABRes, too few buffers cause ATT
 backpressure and throughput collapse; the paper provisions 16.
-"""
 
-import dataclasses
+Runs the registered ``ablation_stream_buffer_count`` experiment spec.
+"""
 
 from conftest import bench_scale, run_once, show
 
-from repro.common.config import ClusterConfig
-from repro.harness.report import format_table, scaled_duration
-from repro.workloads.microbench import MicrobenchConfig, run_microbench
-
-COUNTS = (1, 4, 16)
-
-
-def _throughput_for_count(count: int, scale: float):
-    cfg = ClusterConfig()
-    sabre = dataclasses.replace(cfg.node.sabre, stream_buffers=count)
-    node = dataclasses.replace(cfg.node, sabre=sabre)
-    cfg = dataclasses.replace(cfg, node=node)
-    result = run_microbench(
-        MicrobenchConfig(
-            mechanism="sabre",
-            object_size=128,
-            n_objects=256,
-            readers=16,
-            async_window=8,
-            duration_ns=scaled_duration(60_000.0, scale),
-            warmup_ns=8_000.0,
-            cluster=cfg,
-        )
-    )
-    return result.goodput_gbps, result.destination_counters.get(
-        "att_backpressure", 0
-    )
-
-
-def _sweep(scale: float):
-    rows = []
-    for count in COUNTS:
-        gbps, backpressure = _throughput_for_count(count, scale)
-        rows.append(
-            {
-                "stream_buffers": count,
-                "small_sabre_gbps": gbps,
-                "att_backpressure_events": backpressure,
-            }
-        )
-    return rows
+from repro.experiments.ablations import run_ablation
+from repro.harness.report import format_table
 
 
 def test_stream_buffer_count_sweep(benchmark, scale):
-    rows = run_once(benchmark, _sweep, bench_scale())
+    rows = run_once(
+        benchmark, run_ablation, "ablation_stream_buffer_count", bench_scale()
+    )
     show(
         "Ablation: stream buffer count vs 128 B SABRe throughput",
         format_table(

@@ -5,47 +5,20 @@ vulnerability.  Little's law at the 20 GBps per-R2P2 target and ~90 ns
 memory latency yields ~28 outstanding blocks — hence the paper's depth
 of 32.  Shallow buffers stall the unroll and inflate latency of large
 SABRes; depth beyond the bandwidth-delay product buys nothing.
-"""
 
-import dataclasses
+Runs the registered ``ablation_stream_buffer_depth`` experiment spec.
+"""
 
 from conftest import bench_scale, run_once, show
 
-from repro.common.config import ClusterConfig
-from repro.harness.report import format_table, scaled_duration
-from repro.workloads.microbench import MicrobenchConfig, run_microbench
-
-DEPTHS = (2, 8, 32, 128)
-
-
-def _latency_for_depth(depth: int, scale: float) -> float:
-    cfg = ClusterConfig()
-    sabre = dataclasses.replace(cfg.node.sabre, stream_buffer_depth=depth)
-    node = dataclasses.replace(cfg.node, sabre=sabre)
-    cfg = dataclasses.replace(cfg, node=node)
-    result = run_microbench(
-        MicrobenchConfig(
-            mechanism="sabre",
-            object_size=8192,
-            n_objects=512,
-            readers=1,
-            duration_ns=scaled_duration(60_000.0, scale),
-            warmup_ns=5_000.0,
-            cluster=cfg,
-        )
-    )
-    return result.mean_transfer_latency_ns
-
-
-def _sweep(scale: float):
-    return [
-        {"depth": d, "sabre_8kb_latency_ns": _latency_for_depth(d, scale)}
-        for d in DEPTHS
-    ]
+from repro.experiments.ablations import run_ablation
+from repro.harness.report import format_table
 
 
 def test_stream_buffer_depth_sweep(benchmark, scale):
-    rows = run_once(benchmark, _sweep, bench_scale())
+    rows = run_once(
+        benchmark, run_ablation, "ablation_stream_buffer_depth", bench_scale()
+    )
     show(
         "Ablation: stream buffer depth vs 8 KB SABRe latency",
         format_table(("depth", "sabre_8kb_latency_ns"), rows),

@@ -5,6 +5,20 @@ editable installs (``pip install -e .``) cannot build an editable
 wheel.  This shim lets pip fall back to ``setup.py develop``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="sabres-repro",
+    description="Reproduction of SABRes: atomic object reads for "
+    "in-memory rack-scale computing (MICRO 2016)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro-harness=repro.harness.cli:main",
+            # Historical name, kept for compatibility.
+            "sabres-experiments=repro.harness.cli:main",
+        ]
+    },
+)

@@ -1,0 +1,33 @@
+"""Declarative experiment framework: specs, parallel sweeps, registry.
+
+Quickstart::
+
+    from repro.experiments import registry, run_sweep
+
+    result = run_sweep(registry.get("fig7a"), scale=0.25, jobs=4)
+    print(result.table())
+"""
+
+from repro.experiments.registry import get, load_builtin, names, register
+from repro.experiments.runner import PointCache, SweepResult, SweepRunner, run_sweep
+from repro.experiments.spec import (
+    ExperimentSpec,
+    Point,
+    PointContext,
+    Variant,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "Point",
+    "PointContext",
+    "PointCache",
+    "SweepResult",
+    "SweepRunner",
+    "Variant",
+    "get",
+    "load_builtin",
+    "names",
+    "register",
+    "run_sweep",
+]

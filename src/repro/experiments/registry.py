@@ -1,0 +1,73 @@
+"""Global experiment registry.
+
+Specs register by name; the CLI (and anything else) can list and run
+them uniformly.  Built-in specs live in the figure/table harness
+modules and :mod:`repro.experiments.ablations`; they self-register on
+import, and :func:`load_builtin` imports them all lazily (the harness
+modules import :mod:`repro.experiments`, so eager imports here would
+cycle).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigError
+from repro.experiments.spec import ExperimentSpec
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+#: Modules that define the built-in specs (imported lazily, once).
+_BUILTIN_MODULES = (
+    "repro.harness.fig1",
+    "repro.harness.fig7",
+    "repro.harness.fig8",
+    "repro.harness.fig9",
+    "repro.harness.fig10",
+    "repro.harness.tables",
+    "repro.experiments.ablations",
+)
+_builtin_loaded = False
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register (or re-register) a spec under ``spec.name``."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def load_builtin() -> None:
+    """Import every module that defines built-in specs (idempotent)."""
+    global _builtin_loaded
+    if _builtin_loaded:
+        return
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    # Only after every import succeeded: a failed import must surface
+    # again on the next call, not leave a silent partial registry.
+    _builtin_loaded = True
+
+
+def get(name: str) -> ExperimentSpec:
+    load_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {name!r}; registered: {', '.join(names())}"
+        ) from None
+
+
+def names() -> Tuple[str, ...]:
+    load_builtin()
+    return tuple(sorted(_REGISTRY))
+
+
+def descriptions() -> Dict[str, str]:
+    load_builtin()
+    return {name: _REGISTRY[name].description for name in names()}

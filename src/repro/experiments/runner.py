@@ -1,0 +1,329 @@
+"""Parallel sweep execution for :class:`ExperimentSpec`.
+
+The runner expands a spec into points, executes them — in-process or
+across a ``multiprocessing`` pool (``jobs > 1``) — merges the column
+fragments back into rows in deterministic grid order, and can cache
+completed points on disk keyed by a content hash of the point, so
+re-runs only pay for what changed.
+
+Determinism: every point re-seeds the worker's global RNG from a seed
+derived from ``(spec seed, spec name, point index, variant)``, and all
+simulation randomness already flows from the explicit config seeds, so
+an N-job sweep produces byte-identical rows to a serial one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.experiments.spec import ExperimentSpec, Point, PointContext
+from repro.harness.report import format_table
+
+# ----------------------------------------------------------------------
+# worker-side execution
+# ----------------------------------------------------------------------
+
+#: Spec handed to pool workers via the initializer (inherited directly
+#: under the ``fork`` start method, so closures in ``point_fn`` work).
+_WORKER_SPEC: Optional[ExperimentSpec] = None
+
+
+def _init_worker(spec: ExperimentSpec) -> None:
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+
+
+def _execute_point(spec: ExperimentSpec, point: Point, scale: float) -> Dict[str, Any]:
+    """Run one point under a deterministic per-point global-RNG seed.
+
+    The seed applies in serial and pooled execution alike, so a point
+    function that reaches for the global ``random`` module still yields
+    identical rows at any ``jobs``; the caller's RNG state is restored
+    afterwards, so the sweep has no side effect on library users."""
+    ctx = PointContext(
+        spec_name=spec.name,
+        params=point.params,
+        axis_values=point.axis_values,
+        variant=point.variant.name,
+        scale=scale,
+        seed=point.seed,
+    )
+    outer_state = random.getstate()
+    random.seed(point.seed)
+    try:
+        fragment = spec.point_fn(ctx)
+    finally:
+        random.setstate(outer_state)
+    if not isinstance(fragment, Mapping):
+        raise ConfigError(
+            f"experiment {spec.name!r} point_fn must return a column dict, "
+            f"got {type(fragment).__name__}"
+        )
+    return dict(fragment)
+
+
+def _pool_entry(payload: Tuple[Point, float]) -> Dict[str, Any]:
+    point, scale = payload
+    assert _WORKER_SPEC is not None, "pool initializer did not run"
+    return _execute_point(_WORKER_SPEC, point, scale)
+
+
+# ----------------------------------------------------------------------
+# on-disk point cache
+# ----------------------------------------------------------------------
+
+
+class PointCache:
+    """Completed-point cache: one JSON file per point, keyed by a hash
+    of the spec name, scale, seed, variant, and full parameter dict.
+
+    Values must be JSON-serializable (all built-in specs emit plain
+    numbers/strings); anything else is silently not cached."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(spec_name: str, point: Point, scale: float) -> str:
+        canon = repr(
+            (
+                spec_name,
+                point.variant.name,
+                scale,
+                point.seed,
+                sorted((k, repr(v)) for k, v in point.params.items()),
+            )
+        )
+        return hashlib.sha256(canon.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(key)) as fh:
+                fragment = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return fragment
+
+    def store(self, key: str, fragment: Dict[str, Any]) -> None:
+        try:
+            blob = json.dumps(fragment)
+        except (TypeError, ValueError):
+            return  # not serializable: skip caching, never fail the run
+        tmp = self._path(key) + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(blob)
+        os.replace(tmp, self._path(key))
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+@dataclass
+class SweepResult:
+    """Uniform sweep output: ordered headers + row dicts, plus metadata
+    for artifacts and reporting."""
+
+    spec_name: str
+    headers: Tuple[str, ...]
+    rows: List[Dict[str, Any]]
+    scale: float
+    jobs: int
+    points_total: int
+    points_cached: int
+    elapsed_s: float
+    description: str = ""
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def table(self) -> str:
+        return format_table(self.headers, self.rows)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.spec_name,
+            "description": self.description,
+            "scale": self.scale,
+            "jobs": self.jobs,
+            "points_total": self.points_total,
+            "points_cached": self.points_cached,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "headers": list(self.headers),
+            # Strict JSON: non-finite floats (e.g. a NaN ratio from a
+            # zero-goodput tiny-scale run) become null, not bare NaN.
+            "rows": [
+                {k: _json_safe(v) for k, v in row.items()} for row in self.rows
+            ],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json_dict(), fh, indent=2)
+            fh.write("\n")
+
+
+def _fork_or_spawn() -> multiprocessing.context.BaseContext:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+class SweepRunner:
+    """Expand a spec and execute every point, optionally in parallel.
+
+    Parameters
+    ----------
+    spec:
+        The experiment to run.
+    scale:
+        Measurement-window scale factor forwarded to every point.
+    jobs:
+        Worker processes; 1 runs in-process (no pool).
+    axes:
+        Per-run axis overrides (e.g. a subset of object sizes).
+    overrides:
+        Parameter overrides merged over defaults/axis/variant values.
+    cache_dir:
+        Enable the on-disk completed-point cache rooted here.
+    base_seed:
+        Override the spec's seed root for per-point worker seeding.
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        scale: float = 1.0,
+        jobs: int = 1,
+        axes: Optional[Mapping[str, Sequence[Any]]] = None,
+        overrides: Optional[Mapping[str, Any]] = None,
+        cache_dir: Optional[str] = None,
+        base_seed: Optional[int] = None,
+    ):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.spec = spec
+        self.scale = scale
+        self.jobs = jobs
+        self.axes = axes
+        self.overrides = overrides
+        self.cache = PointCache(cache_dir) if cache_dir else None
+        self.base_seed = base_seed
+
+    # ------------------------------------------------------------------
+    def run(self) -> SweepResult:
+        start = time.time()
+        points = self.spec.expand(
+            axes=self.axes, overrides=self.overrides, base_seed=self.base_seed
+        )
+        fragments: List[Optional[Dict[str, Any]]] = [None] * len(points)
+
+        pending: List[Point] = []
+        keys: Dict[int, str] = {}
+        if self.cache is not None:
+            for point in points:
+                key = PointCache.key(self.spec.name, point, self.scale)
+                keys[point.index] = key
+                cached = self.cache.load(key)
+                if cached is not None:
+                    fragments[point.index] = cached
+                else:
+                    pending.append(point)
+        else:
+            pending = list(points)
+
+        cached_count = len(points) - len(pending)
+        for point, fragment in zip(pending, self._execute(pending)):
+            fragments[point.index] = fragment
+            if self.cache is not None:
+                self.cache.store(keys[point.index], fragment)
+
+        rows = self._merge_rows(points, fragments)
+        headers = tuple(self.spec.headers) or (
+            tuple(rows[0]) if rows else tuple(self.spec.axes)
+        )
+        return SweepResult(
+            spec_name=self.spec.name,
+            headers=headers,
+            rows=rows,
+            scale=self.scale,
+            jobs=self.jobs,
+            points_total=len(points),
+            points_cached=cached_count,
+            elapsed_s=time.time() - start,
+            description=self.spec.description,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(self, points: Sequence[Point]) -> List[Dict[str, Any]]:
+        if not points:
+            return []
+        if self.jobs == 1 or len(points) == 1:
+            return [_execute_point(self.spec, p, self.scale) for p in points]
+        ctx = _fork_or_spawn()
+        workers = min(self.jobs, len(points))
+        with ctx.Pool(
+            processes=workers, initializer=_init_worker, initargs=(self.spec,)
+        ) as pool:
+            payloads = [(p, self.scale) for p in points]
+            # map() preserves submission order, so merged rows never
+            # depend on worker completion order.
+            return pool.map(_pool_entry, payloads)
+
+    # ------------------------------------------------------------------
+    def _merge_rows(
+        self,
+        points: Sequence[Point],
+        fragments: Sequence[Optional[Dict[str, Any]]],
+    ) -> List[Dict[str, Any]]:
+        rows: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for point in points:
+            row = rows.get(point.row_key)
+            if row is None:
+                row = dict(point.axis_values)
+                rows[point.row_key] = row
+                order.append(point.row_key)
+            fragment = fragments[point.index]
+            if fragment:
+                row.update(fragment)
+        finalized = []
+        for key in order:
+            row = rows[key]
+            if self.spec.finalize_row is not None:
+                row = dict(self.spec.finalize_row(row))
+            finalized.append(row)
+        return finalized
+
+
+def run_sweep(
+    spec: ExperimentSpec,
+    scale: float = 1.0,
+    jobs: int = 1,
+    **kwargs: Any,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(spec, scale=scale, jobs=jobs, **kwargs).run()

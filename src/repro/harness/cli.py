@@ -1,75 +1,123 @@
-"""Command-line entry point: regenerate any paper table or figure.
+"""Command-line entry point: run any registered experiment — every
+paper table/figure plus the ablation sweeps.
 
 Usage::
 
-    sabres-experiments fig7a            # full-size run
-    sabres-experiments fig8 --scale 0.3 # faster, smaller windows
-    sabres-experiments all --scale 0.2
+    repro-harness list                       # registered experiments
+    repro-harness fig7a                      # full-size serial run
+    repro-harness fig8 --scale 0.3 --jobs 8  # faster, parallel sweep
+    repro-harness all --scale 0.2 --json-out results.json
+    repro-harness fig7b --cache-dir .sweep-cache   # reuse finished points
+
+(Also installed as ``sabres-experiments`` for backward compatibility.)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import Callable, Dict
+from typing import Optional
 
-from repro.harness.fig1 import run_fig1
-from repro.harness.fig7 import run_fig7a, run_fig7b
-from repro.harness.fig8 import run_fig8
-from repro.harness.fig9 import run_fig9a, run_fig9b
-from repro.harness.fig10 import run_fig10
+from repro.common.errors import ConfigError
+from repro.experiments import SweepRunner, registry
 from repro.harness.report import format_table
-from repro.harness.tables import table1, table2_rows
-
-_FIGURES: Dict[str, Callable] = {
-    "fig1": run_fig1,
-    "fig7a": run_fig7a,
-    "fig7b": run_fig7b,
-    "fig8": run_fig8,
-    "fig9a": run_fig9a,
-    "fig9b": run_fig9b,
-    "fig10": run_fig10,
-}
 
 
-def run_experiment(name: str, scale: float) -> str:
-    if name == "table1":
-        return table1()
-    if name == "table2":
-        headers, rows = table2_rows()
-        return format_table(headers, rows)
-    headers, rows = _FIGURES[name](scale=scale)
-    return format_table(headers, rows)
+def run_experiment(
+    name: str,
+    scale: float,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> str:
+    """Run one registered experiment and render its result table."""
+    result = SweepRunner(
+        registry.get(name), scale=scale, jobs=jobs, cache_dir=cache_dir
+    ).run()
+    return result.table()
 
 
-def main(argv=None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="sabres-experiments",
-        description="Regenerate the SABRes paper's tables and figures.",
+        prog="repro-harness",
+        description="Run the SABRes paper's tables, figures, and ablation "
+        "experiments through the declarative sweep framework.",
     )
-    choices = ["table1", "table2", *sorted(_FIGURES), "all"]
-    parser.add_argument("experiment", choices=choices)
+    choices = ["list", "all", *registry.names()]
+    parser.add_argument(
+        "experiment",
+        choices=choices,
+        help="experiment name, 'all' to run everything, or 'list'",
+    )
     parser.add_argument(
         "--scale",
         type=float,
         default=1.0,
         help="measurement-window scale factor (smaller = faster, noisier)",
     )
-    args = parser.parse_args(argv)
-
-    names = (
-        ["table1", "table2", *sorted(_FIGURES)]
-        if args.experiment == "all"
-        else [args.experiment]
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the parameter sweep (default: 1)",
     )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="also write results as a JSON artifact",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache completed sweep points on disk (keyed by config hash)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        descriptions = registry.descriptions()
+        width = max(len(name) for name in descriptions)
+        for name, description in descriptions.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    names = list(registry.names()) if args.experiment == "all" else [args.experiment]
+    artifacts = {}
     for name in names:
         start = time.time()
-        output = run_experiment(name, args.scale)
+        try:
+            result = SweepRunner(
+                registry.get(name),
+                scale=args.scale,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+            ).run()
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         elapsed = time.time() - start
-        print(f"=== {name} ({elapsed:.1f}s) ===")
-        print(output)
+        cached = (
+            f", {result.points_cached}/{result.points_total} points cached"
+            if args.cache_dir
+            else ""
+        )
+        print(f"=== {name} ({elapsed:.1f}s{cached}) ===")
+        print(format_table(result.headers, result.rows))
         print()
+        artifacts[name] = result.to_json_dict()
+
+    if args.json_out:
+        payload = artifacts[names[0]] if len(names) == 1 else artifacts
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
     return 0
 
 

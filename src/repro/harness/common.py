@@ -2,18 +2,23 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.common.config import ClusterConfig
-from repro.common.units import MB
 
 
-def objects_for_memory_residency(object_size: int, cluster: ClusterConfig = None) -> int:
+def objects_for_memory_residency(
+    object_size: int, cluster: Optional[ClusterConfig] = None
+) -> int:
     """Object count whose working set is ~4x the LLC, so remote reads
     miss in the destination LLC and go to memory (§7.3's setup)."""
     llc = (cluster or ClusterConfig()).node.caches.llc_bytes
     return min(8192, max(64, (4 * llc) // max(object_size, 64)))
 
 
-def objects_for_llc_residency() -> int:
+def objects_for_llc_residency(cluster: Optional[ClusterConfig] = None) -> int:
     """Fig. 8 limits the store to 100 objects so all accesses are
-    LLC-resident at the destination (§7.2)."""
+    LLC-resident at the destination (§7.2).  The count is size- and
+    cluster-independent; ``cluster`` is accepted for signature symmetry
+    with :func:`objects_for_memory_residency`."""
     return 100

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.experiments import ExperimentSpec, SweepRunner, register
 from repro.harness.common import objects_for_memory_residency
 from repro.harness.report import scaled_duration
 from repro.objstore.farm import FarmConfig, run_farm
@@ -26,33 +27,50 @@ HEADERS = (
 )
 
 
+def _fig1_point(ctx) -> Dict:
+    p = ctx.params
+    size = p["object_size"]
+    cfg = FarmConfig(
+        use_sabre=False,
+        object_size=size,
+        n_objects=objects_for_memory_residency(size),
+        readers=1,
+        duration_ns=scaled_duration(150_000.0, ctx.scale),
+        warmup_ns=10_000.0,
+        seed=p["seed"],
+    )
+    means = run_farm(cfg).breakdown.means()
+    framework_app = means["framework"] + means["application"]
+    total = means["transfer"] + framework_app + means["stripping"]
+    return {
+        "transfer_ns": means["transfer"],
+        "framework_app_ns": framework_app,
+        "stripping_ns": means["stripping"],
+        "total_ns": total,
+        "stripping_share": means["stripping"] / total,
+    }
+
+
+FIG1_SPEC = register(
+    ExperimentSpec(
+        name="fig1",
+        description="FaRM perCL-version read latency breakdown vs object size",
+        axes={"object_size": FIG1_SIZES},
+        defaults={"seed": 1},
+        headers=HEADERS,
+        point_fn=_fig1_point,
+    )
+)
+
+
 def run_fig1(
     scale: float = 1.0, sizes: Sequence[int] = FIG1_SIZES, seed: int = 1
 ) -> Tuple[Sequence[str], List[Dict]]:
     """One FaRM reader, baseline (per-cache-line versions) build."""
-    rows = []
-    for size in sizes:
-        cfg = FarmConfig(
-            use_sabre=False,
-            object_size=size,
-            n_objects=objects_for_memory_residency(size),
-            readers=1,
-            duration_ns=scaled_duration(150_000.0, scale),
-            warmup_ns=10_000.0,
-            seed=seed,
-        )
-        result = run_farm(cfg)
-        means = result.breakdown.means()
-        framework_app = means["framework"] + means["application"]
-        total = means["transfer"] + framework_app + means["stripping"]
-        rows.append(
-            {
-                "object_size": size,
-                "transfer_ns": means["transfer"],
-                "framework_app_ns": framework_app,
-                "stripping_ns": means["stripping"],
-                "total_ns": total,
-                "stripping_share": means["stripping"] / total,
-            }
-        )
-    return HEADERS, rows
+    result = SweepRunner(
+        FIG1_SPEC,
+        scale=scale,
+        axes={"object_size": sizes},
+        overrides={"seed": seed},
+    ).run()
+    return HEADERS, result.rows

@@ -9,11 +9,52 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.experiments import ExperimentSpec, SweepRunner, Variant, register
 from repro.harness.report import scaled_duration
 from repro.objstore.local import LocalReadConfig, run_local_reads
 from repro.workloads.generators import FIG1_SIZES
 
 HEADERS = ("object_size", "percl_gbps", "unmodified_gbps", "speedup")
+
+
+def _fig10_point(ctx) -> Dict:
+    p = ctx.params
+    cfg = LocalReadConfig(
+        percl_layout=p["percl_layout"],
+        object_size=p["object_size"],
+        readers=p["readers"],
+        duration_ns=scaled_duration(120_000.0, ctx.scale),
+        warmup_ns=15_000.0,
+        seed=p["seed"],
+    )
+    return {ctx.variant: run_local_reads(cfg).goodput_gbps}
+
+
+def _fig10_finalize(row: Dict) -> Dict:
+    row["speedup"] = (
+        row["unmodified_gbps"] / row["percl_gbps"]
+        if row["percl_gbps"] > 0
+        else float("nan")
+    )
+    return row
+
+
+FIG10_SPEC = register(
+    ExperimentSpec(
+        name="fig10",
+        description="local read throughput: perCL layout vs unmodified store",
+        axes={"object_size": FIG1_SIZES},
+        variants=(
+            Variant("percl_gbps", {"percl_layout": True}),
+            Variant("unmodified_gbps", {"percl_layout": False}),
+        ),
+        defaults={"seed": 9, "readers": 15},
+        finalize_row=_fig10_finalize,
+        headers=HEADERS,
+        point_fn=_fig10_point,
+        base_seed=9,
+    )
+)
 
 
 def run_fig10(
@@ -22,27 +63,10 @@ def run_fig10(
     seed: int = 9,
     readers: int = 15,
 ) -> Tuple[Sequence[str], List[Dict]]:
-    rows = []
-    for size in sizes:
-        gbps = {}
-        for percl in (True, False):
-            cfg = LocalReadConfig(
-                percl_layout=percl,
-                object_size=size,
-                readers=readers,
-                duration_ns=scaled_duration(120_000.0, scale),
-                warmup_ns=15_000.0,
-                seed=seed,
-            )
-            gbps["percl" if percl else "raw"] = run_local_reads(cfg).goodput_gbps
-        rows.append(
-            {
-                "object_size": size,
-                "percl_gbps": gbps["percl"],
-                "unmodified_gbps": gbps["raw"],
-                "speedup": gbps["raw"] / gbps["percl"]
-                if gbps["percl"] > 0
-                else float("nan"),
-            }
-        )
-    return HEADERS, rows
+    result = SweepRunner(
+        FIG10_SPEC,
+        scale=scale,
+        axes={"object_size": sizes},
+        overrides={"seed": seed, "readers": readers},
+    ).run()
+    return HEADERS, result.rows

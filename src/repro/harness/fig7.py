@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.common.config import ClusterConfig, SabreMode
+from repro.experiments import ExperimentSpec, SweepRunner, Variant, register
 from repro.harness.common import objects_for_memory_residency
 from repro.harness.report import scaled_duration
 from repro.workloads.generators import FIG7_SIZES
@@ -24,34 +25,97 @@ from repro.workloads.microbench import MicrobenchConfig, run_microbench
 HEADERS_7A = ("object_size", "remote_read_ns", "sabre_no_spec_ns", "sabre_ns")
 HEADERS_7B = ("object_size", "remote_read_gbps", "sabre_gbps")
 
-_VARIANTS_7A = (
-    ("remote_read_ns", "remote_read", SabreMode.SPECULATIVE),
-    ("sabre_no_spec_ns", "sabre", SabreMode.NO_SPECULATION),
-    ("sabre_ns", "sabre", SabreMode.SPECULATIVE),
+
+def _fig7a_point(ctx) -> Dict:
+    p = ctx.params
+    size = p["object_size"]
+    cfg = MicrobenchConfig(
+        mechanism=p["mechanism"],
+        object_size=size,
+        n_objects=objects_for_memory_residency(size),
+        readers=1,
+        writers=0,
+        duration_ns=scaled_duration(60_000.0, ctx.scale),
+        warmup_ns=5_000.0,
+        seed=p["seed"],
+        cluster=ClusterConfig().with_sabre_mode(p["mode"]),
+    )
+    return {ctx.variant: run_microbench(cfg).mean_transfer_latency_ns}
+
+
+FIG7A_SPEC = register(
+    ExperimentSpec(
+        name="fig7a",
+        description="one-sided operation latency: remote read vs SABRe "
+        "variants across object sizes",
+        axes={"object_size": FIG7_SIZES},
+        variants=(
+            Variant(
+                "remote_read_ns",
+                {"mechanism": "remote_read", "mode": SabreMode.SPECULATIVE},
+            ),
+            Variant(
+                "sabre_no_spec_ns",
+                {"mechanism": "sabre", "mode": SabreMode.NO_SPECULATION},
+            ),
+            Variant(
+                "sabre_ns",
+                {"mechanism": "sabre", "mode": SabreMode.SPECULATIVE},
+            ),
+        ),
+        defaults={"seed": 5},
+        headers=HEADERS_7A,
+        point_fn=_fig7a_point,
+        base_seed=5,
+    )
+)
+
+
+def _fig7b_point(ctx) -> Dict:
+    p = ctx.params
+    size = p["object_size"]
+    cfg = MicrobenchConfig(
+        mechanism=p["mechanism"],
+        object_size=size,
+        n_objects=objects_for_memory_residency(size),
+        readers=p["readers"],
+        writers=0,
+        async_window=p["window"],
+        duration_ns=scaled_duration(80_000.0, ctx.scale),
+        warmup_ns=10_000.0,
+        seed=p["seed"],
+    )
+    return {ctx.variant: run_microbench(cfg).goodput_gbps}
+
+
+FIG7B_SPEC = register(
+    ExperimentSpec(
+        name="fig7b",
+        description="asynchronous peak throughput: remote read vs SABRe "
+        "across object sizes",
+        axes={"object_size": FIG7_SIZES},
+        variants=(
+            Variant("remote_read_gbps", {"mechanism": "remote_read"}),
+            Variant("sabre_gbps", {"mechanism": "sabre"}),
+        ),
+        defaults={"seed": 5, "readers": 16, "window": 8},
+        headers=HEADERS_7B,
+        point_fn=_fig7b_point,
+        base_seed=5,
+    )
 )
 
 
 def run_fig7a(
     scale: float = 1.0, sizes: Sequence[int] = FIG7_SIZES, seed: int = 5
 ) -> Tuple[Sequence[str], List[Dict]]:
-    rows = []
-    for size in sizes:
-        row: Dict = {"object_size": size}
-        for column, mechanism, mode in _VARIANTS_7A:
-            cfg = MicrobenchConfig(
-                mechanism=mechanism,
-                object_size=size,
-                n_objects=objects_for_memory_residency(size),
-                readers=1,
-                writers=0,
-                duration_ns=scaled_duration(60_000.0, scale),
-                warmup_ns=5_000.0,
-                seed=seed,
-                cluster=ClusterConfig().with_sabre_mode(mode),
-            )
-            row[column] = run_microbench(cfg).mean_transfer_latency_ns
-        rows.append(row)
-    return HEADERS_7A, rows
+    result = SweepRunner(
+        FIG7A_SPEC,
+        scale=scale,
+        axes={"object_size": sizes},
+        overrides={"seed": seed},
+    ).run()
+    return HEADERS_7A, result.rows
 
 
 def run_fig7b(
@@ -61,24 +125,10 @@ def run_fig7b(
     readers: int = 16,
     window: int = 8,
 ) -> Tuple[Sequence[str], List[Dict]]:
-    rows = []
-    for size in sizes:
-        row: Dict = {"object_size": size}
-        for column, mechanism in (
-            ("remote_read_gbps", "remote_read"),
-            ("sabre_gbps", "sabre"),
-        ):
-            cfg = MicrobenchConfig(
-                mechanism=mechanism,
-                object_size=size,
-                n_objects=objects_for_memory_residency(size),
-                readers=readers,
-                writers=0,
-                async_window=window,
-                duration_ns=scaled_duration(80_000.0, scale),
-                warmup_ns=10_000.0,
-                seed=seed,
-            )
-            row[column] = run_microbench(cfg).goodput_gbps
-        rows.append(row)
-    return HEADERS_7B, rows
+    result = SweepRunner(
+        FIG7B_SPEC,
+        scale=scale,
+        axes={"object_size": sizes},
+        overrides={"seed": seed, "readers": readers, "window": window},
+    ).run()
+    return HEADERS_7B, result.rows

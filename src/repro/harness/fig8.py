@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.experiments import ExperimentSpec, SweepRunner, Variant, register
 from repro.harness.common import objects_for_llc_residency
 from repro.harness.report import scaled_duration
 from repro.workloads.generators import FIG8_SIZES
@@ -30,42 +31,72 @@ HEADERS = (
 WRITER_COUNTS = (0, 4, 8, 12, 16)
 
 
+def _fig8_point(ctx) -> Dict:
+    p = ctx.params
+    cfg = MicrobenchConfig(
+        mechanism=p["mechanism"],
+        object_size=p["object_size"],
+        n_objects=objects_for_llc_residency(),
+        readers=16,
+        writers=p["writers"],
+        duration_ns=scaled_duration(120_000.0, ctx.scale),
+        warmup_ns=15_000.0,
+        seed=p["seed"],
+        # Writers pace themselves (the paper's writer loop has its own
+        # application work); keeps conflict rates in the regime Fig. 8
+        # explores rather than saturating.
+        writer_think_ns=1500.0,
+    )
+    result = run_microbench(cfg)
+    if p["mechanism"] == "sabre":
+        return {
+            "sabre_gbps": result.goodput_gbps,
+            "sabre_aborts": result.sabre_aborts,
+        }
+    return {
+        "percl_gbps": result.goodput_gbps,
+        "percl_conflicts": result.software_conflicts,
+    }
+
+
+def _fig8_finalize(row: Dict) -> Dict:
+    row["sabre_advantage"] = (
+        row["sabre_gbps"] / row["percl_gbps"] - 1.0
+        if row["percl_gbps"] > 0
+        else float("nan")
+    )
+    return row
+
+
+FIG8_SPEC = register(
+    ExperimentSpec(
+        name="fig8",
+        description="conflict sensitivity: SABRe vs perCL throughput under "
+        "0-16 CREW writers",
+        axes={"object_size": FIG8_SIZES, "writers": WRITER_COUNTS},
+        variants=(
+            Variant("sabre", {"mechanism": "sabre"}),
+            Variant("percl", {"mechanism": "percl_versions"}),
+        ),
+        defaults={"seed": 11},
+        finalize_row=_fig8_finalize,
+        headers=HEADERS,
+        point_fn=_fig8_point,
+        base_seed=11,
+    )
+)
+
+
 def run_fig8(
     scale: float = 1.0,
     sizes: Sequence[int] = FIG8_SIZES,
     writer_counts: Sequence[int] = WRITER_COUNTS,
     seed: int = 11,
 ) -> Tuple[Sequence[str], List[Dict]]:
-    rows = []
-    for size in sizes:
-        for writers in writer_counts:
-            row: Dict = {"object_size": size, "writers": writers}
-            for mechanism in ("sabre", "percl_versions"):
-                cfg = MicrobenchConfig(
-                    mechanism=mechanism,
-                    object_size=size,
-                    n_objects=objects_for_llc_residency(),
-                    readers=16,
-                    writers=writers,
-                    duration_ns=scaled_duration(120_000.0, scale),
-                    warmup_ns=15_000.0,
-                    seed=seed,
-                    # Writers pace themselves (the paper's writer loop has
-                    # its own application work); keeps conflict rates in
-                    # the regime Fig. 8 explores rather than saturating.
-                    writer_think_ns=1500.0,
-                )
-                result = run_microbench(cfg)
-                if mechanism == "sabre":
-                    row["sabre_gbps"] = result.goodput_gbps
-                    row["sabre_aborts"] = result.sabre_aborts
-                else:
-                    row["percl_gbps"] = result.goodput_gbps
-                    row["percl_conflicts"] = result.software_conflicts
-            row["sabre_advantage"] = (
-                row["sabre_gbps"] / row["percl_gbps"] - 1.0
-                if row["percl_gbps"] > 0
-                else float("nan")
-            )
-            rows.append(row)
-    return HEADERS, rows
+    result = SweepRunner(
+        FIG8_SPEC,
+        scale=scale,
+        axes={"object_size": sizes, "writers": writer_counts},
+        overrides={"seed": seed},
+    ).run()
+    return HEADERS, result.rows

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.experiments import ExperimentSpec, SweepRunner, Variant, register
 from repro.harness.common import objects_for_memory_residency
 from repro.harness.report import scaled_duration
 from repro.objstore.farm import FarmConfig, run_farm
@@ -42,26 +43,80 @@ def _farm_cfg(size: int, use_sabre: bool, readers: int, scale: float, seed: int)
     )
 
 
+def _fig9a_point(ctx) -> Dict:
+    p = ctx.params
+    use_sabre = p["build"] == "sabre"
+    result = run_farm(
+        _farm_cfg(p["object_size"], use_sabre, 1, ctx.scale, p["seed"])
+    )
+    means = result.breakdown.means()
+    return {
+        "transfer_ns": means["transfer"],
+        "framework_ns": means["framework"],
+        "stripping_ns": means["stripping"],
+        "application_ns": means["application"],
+        "total_ns": result.mean_latency_ns,
+    }
+
+
+FIG9A_SPEC = register(
+    ExperimentSpec(
+        name="fig9a",
+        description="FaRM KV lookup latency breakdown: perCL vs SABRe builds",
+        axes={"object_size": FIG1_SIZES, "build": ("percl", "sabre")},
+        defaults={"seed": 3},
+        headers=HEADERS_9A,
+        point_fn=_fig9a_point,
+        base_seed=3,
+    )
+)
+
+
+def _fig9b_point(ctx) -> Dict:
+    p = ctx.params
+    result = run_farm(
+        _farm_cfg(
+            p["object_size"], ctx.variant == "sabre", p["readers"], ctx.scale,
+            p["seed"],
+        )
+    )
+    return {f"{ctx.variant}_gbps": result.goodput_gbps}
+
+
+def _fig9b_finalize(row: Dict) -> Dict:
+    row["improvement"] = (
+        row["sabre_gbps"] / row["percl_gbps"] - 1.0
+        if row["percl_gbps"] > 0
+        else float("nan")
+    )
+    return row
+
+
+FIG9B_SPEC = register(
+    ExperimentSpec(
+        name="fig9b",
+        description="FaRM KV throughput: perCL vs SABRe builds",
+        axes={"object_size": FIG1_SIZES},
+        variants=(Variant("percl"), Variant("sabre")),
+        defaults={"seed": 3, "readers": 15},
+        finalize_row=_fig9b_finalize,
+        headers=HEADERS_9B,
+        point_fn=_fig9b_point,
+        base_seed=3,
+    )
+)
+
+
 def run_fig9a(
     scale: float = 1.0, sizes: Sequence[int] = FIG1_SIZES, seed: int = 3
 ) -> Tuple[Sequence[str], List[Dict]]:
-    rows = []
-    for size in sizes:
-        for use_sabre in (False, True):
-            result = run_farm(_farm_cfg(size, use_sabre, 1, scale, seed))
-            means = result.breakdown.means()
-            rows.append(
-                {
-                    "object_size": size,
-                    "build": "sabre" if use_sabre else "percl",
-                    "transfer_ns": means["transfer"],
-                    "framework_ns": means["framework"],
-                    "stripping_ns": means["stripping"],
-                    "application_ns": means["application"],
-                    "total_ns": result.mean_latency_ns,
-                }
-            )
-    return HEADERS_9A, rows
+    result = SweepRunner(
+        FIG9A_SPEC,
+        scale=scale,
+        axes={"object_size": sizes},
+        overrides={"seed": seed},
+    ).run()
+    return HEADERS_9A, result.rows
 
 
 def run_fig9b(
@@ -70,18 +125,10 @@ def run_fig9b(
     seed: int = 3,
     readers: int = 15,
 ) -> Tuple[Sequence[str], List[Dict]]:
-    rows = []
-    for size in sizes:
-        percl = run_farm(_farm_cfg(size, False, readers, scale, seed))
-        sabre = run_farm(_farm_cfg(size, True, readers, scale, seed))
-        rows.append(
-            {
-                "object_size": size,
-                "percl_gbps": percl.goodput_gbps,
-                "sabre_gbps": sabre.goodput_gbps,
-                "improvement": sabre.goodput_gbps / percl.goodput_gbps - 1.0
-                if percl.goodput_gbps > 0
-                else float("nan"),
-            }
-        )
-    return HEADERS_9B, rows
+    result = SweepRunner(
+        FIG9B_SPEC,
+        scale=scale,
+        axes={"object_size": sizes},
+        overrides={"seed": seed, "readers": readers},
+    ).run()
+    return HEADERS_9B, result.rows

@@ -6,6 +6,10 @@ Every consumed read is audited against ground truth (payload words
 stamped with the committed version): a mechanism that lets a torn read
 through increments ``undetected_violations`` — zero for LightSABRes by
 construction, non-zero for the Fig. 2 straw man.
+
+The per-mechanism read logic lives in :mod:`repro.workloads.protocols`;
+the reader loops here are mechanism-agnostic and dispatch through the
+:class:`~repro.workloads.protocols.ReadProtocol` registry.
 """
 
 from __future__ import annotations
@@ -13,34 +17,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.atomicity.mechanisms import (
-    AtomicityMechanism,
-    ChecksumMechanism,
-    HardwareSabreMechanism,
-    PerCacheLineMechanism,
-)
 from repro.common.config import ClusterConfig, SabreMode
 from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
-from repro.objstore.layout import (
-    RawLayout,
-    is_locked,
-    stamped_payload,
-    torn_words,
-)
+from repro.objstore.layout import RawLayout, is_locked, stamped_payload
 from repro.objstore.store import ObjectStore
 from repro.sim.resources import FifoResource
 from repro.sim.stats import Samples, ThroughputMeter
 from repro.sonuma.node import Cluster, SoNode
 from repro.workloads.generators import CrewPartition, UniformPicker, ZipfianPicker
+from repro.workloads.protocols import get_protocol, protocol_names
 
-#: Mechanisms the microbenchmark understands.  ``remote_read`` is the
-#: pure-transport baseline of Fig. 7 (no atomicity enforcement at all);
-#: ``drtm_lock`` is Table 1's source-side locking cell: acquire the
-#: object's version-word lock with a remote CAS, read, then release
-#: with a remote write — two extra network round trips per read.
-MECHANISMS = ("remote_read", "sabre", "percl_versions", "checksum", "drtm_lock")
+#: Mechanisms the microbenchmark understands — the registered
+#: :class:`ReadProtocol` names.  ``remote_read`` is the pure-transport
+#: baseline of Fig. 7 (no atomicity enforcement at all); ``drtm_lock``
+#: is Table 1's source-side locking cell.  Snapshot at import time;
+#: :meth:`MicrobenchConfig.validate` consults the live registry, so
+#: protocols registered later are accepted too.
+MECHANISMS = protocol_names()
 
 
 @dataclass
@@ -67,10 +62,7 @@ class MicrobenchConfig:
     cluster: Optional[ClusterConfig] = None
 
     def validate(self) -> None:
-        if self.mechanism not in MECHANISMS:
-            raise ConfigError(
-                f"unknown mechanism {self.mechanism!r}; choose from {MECHANISMS}"
-            )
+        get_protocol(self.mechanism)  # raises ConfigError when unknown
         if self.object_size < 16:
             raise ConfigError("object_size must cover the 8 B header plus data")
         if self.readers < 1:
@@ -107,16 +99,6 @@ class MicrobenchResult:
     @property
     def mean_transfer_latency_ns(self) -> float:
         return self.transfer_latency.mean
-
-
-def _make_mechanism(cfg: MicrobenchConfig) -> Optional[AtomicityMechanism]:
-    if cfg.mechanism == "sabre":
-        return HardwareSabreMechanism()
-    if cfg.mechanism == "percl_versions":
-        return PerCacheLineMechanism(cfg.version_bits)
-    if cfg.mechanism == "checksum":
-        return ChecksumMechanism()
-    return None  # remote_read / drtm_lock: raw layout, no post-check
 
 
 class TimedWriter:
@@ -201,90 +183,32 @@ class Microbenchmark:
     def __init__(self, cfg: MicrobenchConfig):
         cfg.validate()
         self.cfg = cfg
+        protocol_cls = get_protocol(cfg.mechanism)
         self.cluster = Cluster(cfg.cluster or ClusterConfig())
         self.dst = self.cluster.node(0)  # data owner
         self.src = self.cluster.node(1)  # readers
-        self.mechanism = _make_mechanism(cfg)
+        self.mechanism = protocol_cls.make_mechanism(cfg)
         layout = self.mechanism.layout if self.mechanism else RawLayout()
         self.store = ObjectStore(self.dst.phys, layout, name="microbench")
         for obj_id in range(cfg.n_objects):
             self.store.create(obj_id, stamped_payload(0, cfg.payload_len))
         self.stats = _ReaderStats()
         self.writers: List[TimedWriter] = []
+        self.protocol = protocol_cls(self)
 
     # ------------------------------------------------------------------
     def _reader_slot(self, thread: int, slot: int, t_end: float):
+        """Fig. 7a-style synchronous loop: pick, read atomically via the
+        configured protocol, consume, repeat."""
         sim = self.cluster.sim
-        cfg = self.cfg
-        costs = cfg.costs
-        mech = self.mechanism
-        layout = self.store.layout
         picker = self._picker((thread, slot))
-        wire = layout.wire_size(cfg.payload_len)
+        wire = self.store.layout.wire_size(self.cfg.payload_len)
         buf = self.src.alloc_buffer(wire)
-        hardware = mech is not None and mech.hardware
-        drtm = cfg.mechanism == "drtm_lock"
 
         while sim.now < t_end:
             obj_id = picker.pick()
             handle = self.store.handle(obj_id)
-            t0 = sim.now
-            if drtm:
-                yield from self._drtm_read(handle, buf, wire, t0, t_end)
-                continue
-            while True:
-                yield sim.timeout(costs.microbench_loop_ns)
-                if hardware:
-                    ev = self.src.sabre_read(
-                        self.dst.node_id, handle.base_addr, wire, buf
-                    )
-                else:
-                    ev = self.src.remote_read(
-                        self.dst.node_id, handle.base_addr, wire, buf
-                    )
-                result = yield ev
-                ok = True
-                data: Optional[bytes] = None
-                if hardware:
-                    ok = result.success
-                    if ok:
-                        raw = self.src.read_local(buf, wire)
-                        strip = layout.unpack(raw, cfg.payload_len)
-                        data = strip.data
-                        yield sim.timeout(
-                            costs.app_consume_ns(cfg.payload_len, "microbench")
-                        )
-                    else:
-                        self.stats.sabre_aborts += 1
-                elif mech is not None:
-                    yield sim.timeout(mech.check_cost_ns(costs, cfg.payload_len))
-                    raw = self.src.read_local(buf, wire)
-                    strip = mech.check(raw, cfg.payload_len)
-                    ok = strip.ok
-                    data = strip.data
-                    if not ok:
-                        self.stats.software_conflicts += 1
-                else:  # remote_read transport baseline: no atomicity check
-                    raw = self.src.read_local(buf, wire)
-                    data = layout.unpack(raw, cfg.payload_len).data
-
-                if ok:
-                    if mech is not None and data is not None:
-                        torn, _words = torn_words(data)
-                        if torn:
-                            self.stats.undetected_violations += 1
-                    latency = sim.now - t0
-                    self.stats.op_latency.add(latency)
-                    self.stats.transfer_latency.add(
-                        result.timings.end_to_end_ns
-                    )
-                    self.stats.meter.record(cfg.payload_len)
-                    break
-                # Atomicity violation: retry the same object immediately
-                # (§7.2's retry policy).
-                self.stats.retries += 1
-                if sim.now >= t_end:
-                    break
+            yield from self.protocol.read_once(handle, buf, wire, t_end)
 
     # ------------------------------------------------------------------
     def _picker(self, label):
@@ -296,95 +220,38 @@ class Microbenchmark:
         return UniformPicker(range(cfg.n_objects), cfg.seed, label=label)
 
     # ------------------------------------------------------------------
-    def _drtm_read(self, handle, buf: int, wire: int, t0: float, t_end: float):
-        """Source-side locking read (Table 1, DrTM cell): CAS-acquire
-        the object's version word, read it one-sidedly, CAS-release.
-
-        Costs two extra network round trips versus a plain read — the
-        drawback §2.1 calls out — but needs no post-transfer check."""
-        sim = self.cluster.sim
-        cfg = self.cfg
-        costs = cfg.costs
-        layout = self.store.layout
-        version_addr = self.store.version_addr(handle.obj_id)
-        while True:
-            yield sim.timeout(costs.microbench_loop_ns)
-            current = yield self.src.remote_read(
-                self.dst.node_id, version_addr, 8, buf
-            )
-            observed = int.from_bytes(self.src.read_local(buf, 8), "little")
-            if observed % 2 == 1:
-                self.stats.retries += 1
-                if sim.now >= t_end:
-                    return
-                continue
-            locked = observed + 1
-            cas = yield self.src.remote_cas(
-                self.dst.node_id, version_addr, observed, locked
-            )
-            if not cas.success:
-                self.stats.retries += 1
-                if sim.now >= t_end:
-                    return
-                continue
-            read = yield self.src.remote_read(
-                self.dst.node_id, handle.base_addr, wire, buf
-            )
-            raw = self.src.read_local(buf, wire)
-            # Restore the pre-lock version (pure read: no version bump).
-            yield self.src.remote_write(
-                self.dst.node_id, version_addr, observed.to_bytes(8, "little")
-            )
-            strip = layout.unpack(raw, cfg.payload_len)
-            data = bytes(raw[8 : 8 + cfg.payload_len])
-            torn, _words = torn_words(data)
-            if torn:
-                self.stats.undetected_violations += 1
-            yield sim.timeout(costs.app_consume_ns(cfg.payload_len, "microbench"))
-            self.stats.op_latency.add(sim.now - t0)
-            self.stats.transfer_latency.add(read.timings.end_to_end_ns)
-            self.stats.meter.record(cfg.payload_len)
-            return
-
-    # ------------------------------------------------------------------
     def _async_thread(self, thread: int, t_end: float):
         """Fig. 7b issue loop: one thread keeps ``async_window`` ops in
         flight, paying only the per-op issue cost.  Peak-bandwidth mode:
-        post-transfer software is assumed overlapped."""
+        post-transfer software is assumed overlapped.
+
+        One landing buffer is preallocated per in-flight window slot and
+        recycled as completions drain — the window resource guarantees a
+        free buffer whenever a slot is granted."""
         sim = self.cluster.sim
         cfg = self.cfg
-        mech = self.mechanism
-        layout = self.store.layout
         picker = self._picker(thread)
-        wire = layout.wire_size(cfg.payload_len)
+        wire = self.store.layout.wire_size(cfg.payload_len)
         window = FifoResource(sim, cfg.async_window)
-        hardware = mech is not None and mech.hardware
+        free_bufs = [self.src.alloc_buffer(wire) for _ in range(cfg.async_window)]
         issue_gap = cfg.costs.microbench_loop_ns
 
-        def on_complete(event):
+        def on_complete(event, buf):
             result = event.value
-            if (not hardware) or result.success:
+            if self.protocol.async_ok(result):
                 self.stats.op_latency.add(result.timings.end_to_end_ns)
                 self.stats.transfer_latency.add(result.timings.end_to_end_ns)
                 self.stats.meter.record(cfg.payload_len)
-            else:
-                self.stats.sabre_aborts += 1
+            free_bufs.append(buf)
             window.release()
 
         while sim.now < t_end:
             yield window.acquire()
             yield sim.timeout(issue_gap)
             handle = self.store.handle(picker.pick())
-            buf = self.src.alloc_buffer(wire)
-            if hardware:
-                ev = self.src.sabre_read(
-                    self.dst.node_id, handle.base_addr, wire, buf
-                )
-            else:
-                ev = self.src.remote_read(
-                    self.dst.node_id, handle.base_addr, wire, buf
-                )
-            ev.add_callback(on_complete)
+            buf = free_bufs.pop()
+            ev = self.protocol.issue(handle, wire, buf)
+            ev.add_callback(lambda event, buf=buf: on_complete(event, buf))
 
     def run(self) -> MicrobenchResult:
         sim = self.cluster.sim

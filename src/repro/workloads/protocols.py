@@ -1,0 +1,273 @@
+"""Pluggable read protocols for the microbenchmark reader loop.
+
+Each mechanism in Table 1's design space is one :class:`ReadProtocol`
+strategy: it knows how to build its atomicity mechanism (and therefore
+its wire layout), how to issue one one-sided operation, and how to
+complete it — including any post-transfer software check, retry
+bookkeeping, and the ground-truth torn-read audit.  The reader loop in
+:mod:`repro.workloads.microbench` is mechanism-agnostic; adding a new
+scenario is a subclass plus :func:`register_protocol`, never a fork of
+the loop.
+
+Registered names double as the ``MicrobenchConfig.mechanism`` values.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
+
+from repro.atomicity.mechanisms import (
+    AtomicityMechanism,
+    ChecksumMechanism,
+    HardwareSabreMechanism,
+    PerCacheLineMechanism,
+)
+from repro.common.errors import ConfigError
+from repro.objstore.layout import torn_words
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.microbench import Microbenchmark, MicrobenchConfig
+
+#: name -> protocol class, in registration order (order is part of the
+#: public ``MECHANISMS`` tuple, so built-ins register in the legacy
+#: order below).
+_PROTOCOLS: Dict[str, Type["ReadProtocol"]] = {}
+
+
+def register_protocol(cls: Type["ReadProtocol"]) -> Type["ReadProtocol"]:
+    """Class decorator: make ``cls`` selectable by ``cls.name``."""
+    if not getattr(cls, "name", None):
+        raise ConfigError(f"protocol class {cls.__name__} needs a name")
+    _PROTOCOLS[cls.name] = cls
+    return cls
+
+
+def protocol_names() -> Tuple[str, ...]:
+    """All registered mechanism names, in registration order."""
+    return tuple(_PROTOCOLS)
+
+
+def get_protocol(name: str) -> Type["ReadProtocol"]:
+    try:
+        return _PROTOCOLS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown mechanism {name!r}; choose from {protocol_names()}"
+        ) from None
+
+
+class ReadProtocol:
+    """One atomic-read mechanism, bound to a running microbenchmark.
+
+    Subclasses override :meth:`make_mechanism` (layout + software
+    check), ``hardware`` (issue SABRes vs plain remote reads), and
+    either the :meth:`complete` hook or — for protocols with a wholly
+    different wire dance, like DrTM source locking — :meth:`read_once`
+    itself.
+    """
+
+    #: registry key; also the ``MicrobenchConfig.mechanism`` value.
+    name = ""
+    #: issue ``sabre_read`` (destination-side hardware) vs ``remote_read``.
+    hardware = False
+
+    def __init__(self, bench: "Microbenchmark"):
+        self.bench = bench
+        self.cfg = bench.cfg
+        self.costs = bench.cfg.costs
+        self.stats = bench.stats
+        self.src = bench.src
+        self.dst = bench.dst
+        self.store = bench.store
+        self.mechanism = bench.mechanism
+
+    # -- construction hooks --------------------------------------------
+    @staticmethod
+    def make_mechanism(cfg: "MicrobenchConfig") -> Optional[AtomicityMechanism]:
+        """The source-side software mechanism (None = raw layout)."""
+        return None
+
+    # -- shared helpers ------------------------------------------------
+    @property
+    def layout(self):
+        return self.store.layout
+
+    def issue(self, handle, wire: int, buf: int):
+        """Post the one-sided operation; returns the completion event."""
+        if self.hardware:
+            return self.src.sabre_read(self.dst.node_id, handle.base_addr, wire, buf)
+        return self.src.remote_read(self.dst.node_id, handle.base_addr, wire, buf)
+
+    def audit(self, data: Optional[bytes]) -> None:
+        """Ground-truth torn-read audit of a consumed payload."""
+        if data is None:
+            return
+        torn, _words = torn_words(data)
+        if torn:
+            self.stats.undetected_violations += 1
+
+    # -- synchronous reader loop ---------------------------------------
+    def read_once(self, handle, buf: int, wire: int, t_end: float):
+        """One complete operation (including §7.2's retry-same-object
+        policy), as a simulation generator."""
+        sim = self.bench.cluster.sim
+        t0 = sim.now
+        while True:
+            yield sim.timeout(self.costs.microbench_loop_ns)
+            result = yield self.issue(handle, wire, buf)
+            ok, data = yield from self.complete(result, buf, wire)
+            if ok:
+                self.audit(data)
+                self.stats.op_latency.add(sim.now - t0)
+                self.stats.transfer_latency.add(result.timings.end_to_end_ns)
+                self.stats.meter.record(self.cfg.payload_len)
+                return
+            self.stats.retries += 1
+            if sim.now >= t_end:
+                return
+
+    def complete(self, result, buf: int, wire: int):
+        """Post-transfer handling; yields any software-check simulation
+        time and returns ``(ok, auditable_payload_or_None)``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - generator marker
+
+    # -- asynchronous (windowed) issue loop ----------------------------
+    def async_ok(self, result) -> bool:
+        """Classify an async completion; count failures.  Peak-bandwidth
+        mode assumes post-transfer software is overlapped, so no check
+        cost is charged here."""
+        return True
+
+
+@register_protocol
+class RawRemoteReadProtocol(ReadProtocol):
+    """Fig. 7's pure-transport baseline: a plain one-sided read with no
+    atomicity enforcement (and hence no audit — torn data is expected)."""
+
+    name = "remote_read"
+
+    def complete(self, result, buf: int, wire: int):
+        raw = self.src.read_local(buf, wire)
+        self.layout.unpack(raw, self.cfg.payload_len)
+        return True, None
+        yield  # pragma: no cover - generator marker
+
+
+@register_protocol
+class HardwareSabreProtocol(ReadProtocol):
+    """LightSABRes: destination-side hardware atomicity (§4); the
+    completion already carries the abort/commit verdict."""
+
+    name = "sabre"
+    hardware = True
+
+    @staticmethod
+    def make_mechanism(cfg):
+        return HardwareSabreMechanism()
+
+    def complete(self, result, buf: int, wire: int):
+        if not result.success:
+            self.stats.sabre_aborts += 1
+            return False, None
+        raw = self.src.read_local(buf, wire)
+        strip = self.layout.unpack(raw, self.cfg.payload_len)
+        yield self.bench.cluster.sim.timeout(
+            self.costs.app_consume_ns(self.cfg.payload_len, "microbench")
+        )
+        return True, strip.data
+
+    def async_ok(self, result) -> bool:
+        if result.success:
+            return True
+        self.stats.sabre_aborts += 1
+        return False
+
+
+class SoftwareCheckProtocol(ReadProtocol):
+    """Base for source-side OCC mechanisms (Table 1's FaRM/Pilaf cells):
+    transfer, then pay a size-dependent software check."""
+
+    def complete(self, result, buf: int, wire: int):
+        mech = self.mechanism
+        yield self.bench.cluster.sim.timeout(
+            mech.check_cost_ns(self.costs, self.cfg.payload_len)
+        )
+        raw = self.src.read_local(buf, wire)
+        strip = mech.check(raw, self.cfg.payload_len)
+        if not strip.ok:
+            self.stats.software_conflicts += 1
+            return False, None
+        return True, strip.data
+
+
+@register_protocol
+class PerCacheLineVersionsProtocol(SoftwareCheckProtocol):
+    """FaRM-style per-cache-line versions (§2.1)."""
+
+    name = "percl_versions"
+
+    @staticmethod
+    def make_mechanism(cfg):
+        return PerCacheLineMechanism(cfg.version_bits)
+
+
+@register_protocol
+class ChecksumProtocol(SoftwareCheckProtocol):
+    """Pilaf-style whole-object checksums (§2.1)."""
+
+    name = "checksum"
+
+    @staticmethod
+    def make_mechanism(cfg):
+        return ChecksumMechanism()
+
+
+@register_protocol
+class DrtmLockProtocol(ReadProtocol):
+    """Source-side locking (Table 1, DrTM cell): CAS-acquire the
+    object's version word, read one-sidedly, write-release.
+
+    Costs two extra network round trips versus a plain read — the
+    drawback §2.1 calls out — but needs no post-transfer check."""
+
+    name = "drtm_lock"
+
+    def read_once(self, handle, buf: int, wire: int, t_end: float):
+        sim = self.bench.cluster.sim
+        cfg = self.cfg
+        costs = self.costs
+        t0 = sim.now
+        version_addr = self.store.version_addr(handle.obj_id)
+        while True:
+            yield sim.timeout(costs.microbench_loop_ns)
+            yield self.src.remote_read(self.dst.node_id, version_addr, 8, buf)
+            observed = int.from_bytes(self.src.read_local(buf, 8), "little")
+            if observed % 2 == 1:
+                # Version word already locked (or mid-update): retry.
+                self.stats.retries += 1
+                if sim.now >= t_end:
+                    return
+                continue
+            cas = yield self.src.remote_cas(
+                self.dst.node_id, version_addr, observed, observed + 1
+            )
+            if not cas.success:
+                self.stats.retries += 1
+                if sim.now >= t_end:
+                    return
+                continue
+            read = yield self.src.remote_read(
+                self.dst.node_id, handle.base_addr, wire, buf
+            )
+            raw = self.src.read_local(buf, wire)
+            # Restore the pre-lock version (pure read: no version bump).
+            yield self.src.remote_write(
+                self.dst.node_id, version_addr, observed.to_bytes(8, "little")
+            )
+            self.audit(bytes(raw[8 : 8 + cfg.payload_len]))
+            yield sim.timeout(costs.app_consume_ns(cfg.payload_len, "microbench"))
+            self.stats.op_latency.add(sim.now - t0)
+            self.stats.transfer_latency.add(read.timings.end_to_end_ns)
+            self.stats.meter.record(cfg.payload_len)
+            return

@@ -1,0 +1,192 @@
+"""Tests for the declarative experiment framework: spec expansion,
+sweep execution (serial, parallel, cached), the registry, and the CLI
+surface built on top of it."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments import (
+    ExperimentSpec,
+    SweepRunner,
+    Variant,
+    registry,
+    run_sweep,
+)
+from repro.harness.cli import main
+from repro.harness.fig7 import FIG7A_SPEC, run_fig7a
+
+
+def _echo_point(ctx):
+    return {f"{ctx.variant}_value": ctx.params["x"] * ctx.params["factor"]}
+
+
+ECHO_SPEC = ExperimentSpec(
+    name="echo",
+    description="toy spec for framework tests",
+    axes={"x": (1, 2, 3)},
+    variants=(Variant("a", {"factor": 10}), Variant("b", {"factor": 100})),
+    headers=("x", "a_value", "b_value"),
+    point_fn=_echo_point,
+)
+
+
+class TestSpecExpansion:
+    def test_grid_times_variants_in_order(self):
+        points = ECHO_SPEC.expand()
+        assert len(points) == 6
+        assert [p.axis_values["x"] for p in points] == [1, 1, 2, 2, 3, 3]
+        assert [p.variant.name for p in points] == ["a", "b"] * 3
+        assert [p.index for p in points] == list(range(6))
+
+    def test_axis_override_and_unknown_axis(self):
+        points = ECHO_SPEC.expand(axes={"x": (7,)})
+        assert [p.axis_values["x"] for p in points] == [7, 7]
+        with pytest.raises(ConfigError):
+            ECHO_SPEC.expand(axes={"nope": (1,)})
+
+    def test_overrides_win_over_variant_params(self):
+        points = ECHO_SPEC.expand(overrides={"factor": 2})
+        assert all(p.params["factor"] == 2 for p in points)
+
+    def test_per_point_seeds_distinct_and_stable(self):
+        a = ECHO_SPEC.expand()
+        b = ECHO_SPEC.expand()
+        assert [p.seed for p in a] == [p.seed for p in b]
+        assert len({p.seed for p in a}) == len(a)
+
+    def test_derive_hook_shapes_params(self):
+        spec = ExperimentSpec(
+            name="derived",
+            axes={"x": (2, 4)},
+            derive=lambda p: {**p, "doubled": p["x"] * 2},
+            point_fn=lambda ctx: {"y": ctx.params["doubled"]},
+        )
+        rows = SweepRunner(spec).run().rows
+        assert rows == [{"x": 2, "y": 4}, {"x": 4, "y": 8}]
+
+
+class TestSweepRunner:
+    def test_rows_merge_variants(self):
+        result = SweepRunner(ECHO_SPEC).run()
+        assert result.headers == ("x", "a_value", "b_value")
+        assert result.rows == [
+            {"x": 1, "a_value": 10, "b_value": 100},
+            {"x": 2, "a_value": 20, "b_value": 200},
+            {"x": 3, "a_value": 30, "b_value": 300},
+        ]
+
+    def test_finalize_row_hook(self):
+        spec = ExperimentSpec(
+            name="finalized",
+            axes={"x": (1, 2)},
+            variants=ECHO_SPEC.variants,
+            defaults={},
+            finalize_row=lambda row: {**row, "sum": row["a_value"] + row["b_value"]},
+            point_fn=_echo_point,
+        )
+        rows = SweepRunner(spec).run().rows
+        assert rows[0]["sum"] == 110
+        assert rows[1]["sum"] == 220
+
+    def test_parallel_matches_serial(self):
+        serial = SweepRunner(ECHO_SPEC).run()
+        parallel = SweepRunner(ECHO_SPEC, jobs=3).run()
+        assert serial.rows == parallel.rows
+
+    def test_jobs_validation(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(ECHO_SPEC, jobs=0)
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = SweepRunner(ECHO_SPEC, cache_dir=cache).run()
+        second = SweepRunner(ECHO_SPEC, cache_dir=cache).run()
+        assert first.points_cached == 0
+        assert second.points_cached == second.points_total == 6
+        assert first.rows == second.rows
+
+    def test_cache_key_depends_on_scale(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        SweepRunner(ECHO_SPEC, scale=1.0, cache_dir=cache).run()
+        other = SweepRunner(ECHO_SPEC, scale=0.5, cache_dir=cache).run()
+        assert other.points_cached == 0
+
+    def test_json_artifact(self, tmp_path):
+        path = tmp_path / "echo.json"
+        result = run_sweep(ECHO_SPEC)
+        result.write_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "echo"
+        assert payload["rows"] == result.rows
+
+
+class TestRegistry:
+    def test_builtin_experiments_registered(self):
+        names = registry.names()
+        for expected in (
+            "fig1", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10",
+            "table1", "table2", "ablation_source_locking",
+            "ablation_stream_buffer_depth",
+        ):
+            assert expected in names
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            registry.get("not_an_experiment")
+
+    def test_register_and_unregister(self):
+        spec = ExperimentSpec(name="temp_spec", point_fn=lambda ctx: {"v": 1})
+        registry.register(spec)
+        try:
+            assert registry.get("temp_spec") is spec
+        finally:
+            registry.unregister("temp_spec")
+        with pytest.raises(ConfigError):
+            registry.get("temp_spec")
+
+
+class TestFigureSpecs:
+    def test_fig7a_parallel_sweep_byte_identical_to_serial(self):
+        axes = {"object_size": (64, 512)}
+        serial = SweepRunner(FIG7A_SPEC, scale=0.1, axes=axes).run()
+        parallel = SweepRunner(FIG7A_SPEC, scale=0.1, axes=axes, jobs=2).run()
+        assert repr(serial.rows) == repr(parallel.rows)
+
+    def test_wrapper_matches_direct_sweep(self):
+        headers, rows = run_fig7a(scale=0.1, sizes=(64, 512))
+        direct = SweepRunner(
+            FIG7A_SPEC,
+            scale=0.1,
+            axes={"object_size": (64, 512)},
+            overrides={"seed": 5},
+        ).run()
+        assert tuple(headers) == direct.headers
+        assert repr(rows) == repr(direct.rows)
+
+
+class TestCliExtensions:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+        assert "ablation_source_locking" in out
+
+    def test_jobs_and_json_out(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        code = main(
+            ["fig10", "--scale", "0.1", "--jobs", "2", "--json-out", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "fig10"
+        assert payload["jobs"] == 2
+        assert {"object_size", "speedup"} <= set(payload["rows"][0])
+
+    def test_cache_dir_flag(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["table2", "--cache-dir", cache]) == 0
+        assert main(["table2", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "9/9 points cached" in out
