@@ -65,6 +65,7 @@ from repro.objstore.layout import (
     torn_words,
 )
 from repro.objstore.local import LocalReadConfig, run_local_reads
+from repro.objstore.sharded import HashRing, ShardedConfig, ShardedKV
 from repro.objstore.store import ObjectHandle, ObjectStore
 from repro.sonuma.node import Cluster, SoNode
 from repro.sonuma.rpc import RpcEndpoint
@@ -74,6 +75,7 @@ from repro.workloads.microbench import (
     MicrobenchResult,
     run_microbench,
 )
+from repro.workloads.ycsb import YcsbConfig, YcsbResult, run_ycsb
 
 __version__ = "1.0.0"
 
@@ -88,6 +90,7 @@ __all__ = [
     "FarmKV",
     "FarmResult",
     "HardwareSabreMechanism",
+    "HashRing",
     "LocalReadConfig",
     "MicrobenchConfig",
     "MicrobenchResult",
@@ -102,14 +105,19 @@ __all__ = [
     "RpcEndpoint",
     "SabreConfig",
     "SabreMode",
+    "ShardedConfig",
+    "ShardedKV",
     "SoNode",
     "SoftwareCosts",
     "TransferResult",
+    "YcsbConfig",
+    "YcsbResult",
     "default_cluster",
     "mechanism_by_name",
     "run_farm",
     "run_local_reads",
     "run_microbench",
+    "run_ycsb",
     "stamped_payload",
     "torn_words",
 ]

@@ -27,6 +27,7 @@ _BUILTIN_MODULES = (
     "repro.harness.fig10",
     "repro.harness.tables",
     "repro.experiments.ablations",
+    "repro.workloads.ycsb",
 )
 _builtin_loaded = False
 

@@ -1,0 +1,548 @@
+"""Sharded, replicated FaRM-style KV service over soNUMA.
+
+The paper motivates SABRes with rack-scale in-memory services (FaRM,
+§1-§2) whose data is *partitioned across the rack*: every node owns a
+shard and serves one-sided reads for it.  This module scales the
+two-node :mod:`repro.objstore.farm` deployment out to N storage shards
+plus a set of client nodes on one lossless fabric:
+
+* **Placement** is consistent hashing (:class:`HashRing`) with virtual
+  nodes, so shards receive near-equal key ranges and routing is a pure
+  function of ``(seed, key)`` — deterministic run to run.
+* **Replication** is primary/backup: each key lives on ``replication``
+  distinct shards (the ring walk order).  Writes ship to the primary
+  over an RPC (§2.1), run the odd/even version protocol through the
+  owner's *timed* memory hierarchy — so destination-side SABRe
+  hardware snoops them exactly as it snoops local writers — and are
+  replicated to the backups asynchronously.
+* **Reads** go through the pluggable :class:`~repro.workloads.
+  protocols.ReadProtocol` strategies unchanged: every Table 1
+  mechanism (``remote_read``, ``sabre``, ``percl_versions``,
+  ``checksum``, ``drtm_lock``) works against the sharded store.  A
+  :class:`ReaderSession` binds one client reader to every shard and
+  optionally *falls back* to a backup replica when the primary keeps
+  failing the atomicity check (e.g. a hot object under heavy writes).
+* **Stats** are tracked per shard: routed load, retries/aborts,
+  fallback reads, replica writes, and the ground-truth torn-read audit
+  (``undetected_violations``) every consumed read performs.
+
+The module is workload-agnostic: it owns placement, the write path,
+and the per-read machinery; timed open/closed loops live in the
+workload layer (see :mod:`repro.workloads.ycsb`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.config import ClusterConfig, FabricConfig, NodeConfig
+from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
+from repro.common.errors import ConfigError
+from repro.common.rng import derive_seed
+from repro.objstore.layout import (
+    RawLayout,
+    commit_version,
+    is_locked,
+    lock_version,
+    stamped_payload,
+)
+from repro.objstore.store import ObjectStore
+from repro.sim.stats import Samples, ThroughputMeter
+from repro.sonuma.node import Cluster, SoNode
+from repro.sonuma.rpc import RpcEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.protocols import ReadProtocol
+
+
+def _get_protocol(name: str):
+    """Late import: :mod:`repro.workloads` re-exports the YCSB layer,
+    which imports this module back — resolving the protocol registry at
+    call time keeps the cycle out of import order."""
+    from repro.workloads.protocols import get_protocol
+
+    return get_protocol(name)
+
+#: Spin-wait between lock re-checks by a writer that found the object's
+#: version odd (same pacing as the microbenchmark's ``TimedWriter``).
+LOCK_SPIN_NS = 25.0
+
+
+# ----------------------------------------------------------------------
+# consistent hashing
+# ----------------------------------------------------------------------
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Every shard contributes ``vnodes`` points to a 64-bit ring; a key
+    is owned by the first point at or after its hash (wrapping).  All
+    hashes come from :func:`repro.common.rng.derive_seed`, so the
+    mapping is a deterministic function of ``(seed, shard ids, key)``
+    — identical across runs, processes, and worker pools.
+    """
+
+    def __init__(self, shard_ids: Iterable[int], vnodes: int = 64, seed: int = 1):
+        shard_ids = list(shard_ids)
+        if not shard_ids:
+            raise ConfigError("hash ring needs at least one shard")
+        if vnodes < 1:
+            raise ConfigError(f"vnodes must be >= 1: {vnodes}")
+        self.seed = seed
+        self.shard_ids = shard_ids
+        points: List[Tuple[int, int]] = []
+        for shard in shard_ids:
+            for v in range(vnodes):
+                points.append((derive_seed(seed, "ring", shard, v), shard))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def _slot(self, key: str) -> int:
+        h = derive_seed(self.seed, "ring-key", key)
+        return bisect.bisect_right(self._hashes, h) % len(self._points)
+
+    def primary(self, key: str) -> int:
+        """The shard owning ``key``."""
+        return self._points[self._slot(key)][1]
+
+    def replicas(self, key: str, n: int) -> Tuple[int, ...]:
+        """``n`` distinct shards for ``key``, primary first, in ring
+        walk order (the standard consistent-hashing successor list)."""
+        if not 1 <= n <= len(self.shard_ids):
+            raise ConfigError(
+                f"replication {n} impossible with {len(self.shard_ids)} shards"
+            )
+        seen = set()
+        out: List[int] = []
+        start = self._slot(key)
+        for step in range(len(self._points)):
+            shard = self._points[(start + step) % len(self._points)][1]
+            if shard not in seen:
+                seen.add(shard)
+                out.append(shard)
+                if len(out) == n:
+                    break
+        return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardedConfig:
+    """One sharded-service deployment.
+
+    ``n_clients = 0`` means one client node per shard (the scale-out
+    default, so adding shards also adds load generators).  ``object_
+    size`` includes the 8 B header, as everywhere else in the repo.
+    """
+
+    n_shards: int = 4
+    n_clients: int = 0
+    replication: int = 2
+    mechanism: str = "sabre"
+    object_size: int = 1024
+    n_objects: int = 512
+    version_bits: int = 16
+    vnodes: int = 64
+    seed: int = 1
+    #: Time a read gives the primary before falling back to a backup
+    #: replica (0 disables fallback; reads then retry the primary only).
+    fallback_after_ns: float = 0.0
+    rpc_workers: int = 2
+    costs: SoftwareCosts = field(default_factory=lambda: DEFAULT_COSTS)
+    node: Optional[NodeConfig] = None
+    fabric: Optional[FabricConfig] = None
+
+    def validate(self) -> None:
+        _get_protocol(self.mechanism)  # raises ConfigError when unknown
+        if self.n_shards < 1:
+            raise ConfigError("need at least one shard")
+        if self.n_clients < 0:
+            raise ConfigError("client count cannot be negative")
+        if not 1 <= self.replication <= self.n_shards:
+            raise ConfigError(
+                f"replication {self.replication} needs 1..{self.n_shards} shards"
+            )
+        if self.object_size < 16:
+            raise ConfigError("object_size must cover the header plus data")
+        if self.n_objects < 1:
+            raise ConfigError("need at least one object")
+        if self.vnodes < 1:
+            raise ConfigError("need at least one virtual node per shard")
+        if self.rpc_workers < 1:
+            raise ConfigError("need at least one RPC worker per shard")
+
+    @property
+    def clients(self) -> int:
+        return self.n_clients or self.n_shards
+
+    @property
+    def payload_len(self) -> int:
+        return self.object_size - 8
+
+    def cluster_config(self) -> ClusterConfig:
+        kwargs = {"nodes": self.n_shards + self.clients}
+        if self.node is not None:
+            kwargs["node"] = self.node
+        if self.fabric is not None:
+            kwargs["fabric"] = self.fabric
+        return ClusterConfig(**kwargs)
+
+
+@dataclass
+class _BoundConfig:
+    """The slice of :class:`~repro.workloads.microbench.MicrobenchConfig`
+    the :class:`ReadProtocol` strategies actually consume, so they run
+    against the sharded store without modification."""
+
+    mechanism: str
+    object_size: int
+    version_bits: int
+    costs: SoftwareCosts
+
+    @property
+    def payload_len(self) -> int:
+        return self.object_size - 8
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+
+
+class ShardStats:
+    """Read-side stats for one shard as seen by one reader session.
+
+    Field names match what the protocols record into (the microbench
+    ``_ReaderStats`` contract), plus routing/fallback load counters.
+    Sessions keep private instances (so a reader can detect its own
+    op's outcome without races); :meth:`merge` folds them together.
+    """
+
+    def __init__(self) -> None:
+        self.op_latency = Samples("shard_op_ns")
+        self.transfer_latency = Samples("shard_transfer_ns")
+        self.meter = ThroughputMeter()
+        self.sabre_aborts = 0
+        self.software_conflicts = 0
+        self.retries = 0
+        self.undetected_violations = 0
+        self.reads_routed = 0
+        self.fallback_reads = 0
+
+    def merge(self, other: "ShardStats") -> None:
+        self.op_latency.extend(other.op_latency.values)
+        self.transfer_latency.extend(other.transfer_latency.values)
+        self.meter.absorb(other.meter)
+        self.sabre_aborts += other.sabre_aborts
+        self.software_conflicts += other.software_conflicts
+        self.retries += other.retries
+        self.undetected_violations += other.undetected_violations
+        self.reads_routed += other.reads_routed
+        self.fallback_reads += other.fallback_reads
+
+
+@dataclass
+class ShardWriteStats:
+    """Write-side load counters for one shard (kept on the service —
+    increments are atomic between simulation yields)."""
+
+    writes_routed: int = 0
+    primary_updates: int = 0
+    replica_updates: int = 0
+    lock_spins: int = 0
+
+
+class _ShardBinding:
+    """Adapter presenting one ``(client node, shard)`` pair through the
+    host interface :class:`ReadProtocol` expects of a microbenchmark."""
+
+    def __init__(
+        self,
+        kv: "ShardedKV",
+        shard: int,
+        client_node: SoNode,
+        stats: ShardStats,
+    ):
+        self.cluster = kv.cluster
+        self.cfg = kv.bound_cfg
+        self.stats = stats
+        self.src = client_node
+        self.dst = kv.shards[shard]
+        self.store = kv.stores[shard]
+        self.mechanism = kv.mechanism
+
+
+class ReaderSession:
+    """One client reader's bindings: a protocol instance and private
+    stats per shard, plus a reusable landing buffer.
+
+    Create one session per reader process; the private stats are what
+    make the fallback decision race-free (a session observes only its
+    own completions between yields)."""
+
+    def __init__(self, kv: "ShardedKV", client_index: int):
+        if not 0 <= client_index < len(kv.clients):
+            raise ConfigError(f"no client node {client_index}")
+        self.kv = kv
+        self.client_index = client_index
+        node = kv.clients[client_index]
+        self._wire = kv.layout.wire_size(kv.cfg.payload_len)
+        self._buf = node.alloc_buffer(self._wire)
+        self.stats: List[ShardStats] = [
+            ShardStats() for _ in range(kv.cfg.n_shards)
+        ]
+        self._protocols: List["ReadProtocol"] = [
+            kv.protocol_cls(_ShardBinding(kv, shard, node, self.stats[shard]))
+            for shard in range(kv.cfg.n_shards)
+        ]
+
+    def lookup(self, key: str, t_end: float):
+        """One atomic lookup of ``key`` as a simulation generator.
+
+        Routes to the primary replica; with fallback enabled, gives the
+        primary ``fallback_after_ns`` of retries, then walks the backup
+        replicas (each getting the same grace period, the last one the
+        full remaining time).  Returns ``True`` on a consumed read,
+        ``False`` when ``t_end`` arrived first.
+        """
+        kv = self.kv
+        sim = kv.cluster.sim
+        idx = kv.key_index(key)
+        replicas = kv.replicas_of(key)
+        fallback_ns = kv.cfg.fallback_after_ns
+        order = replicas if fallback_ns > 0 else replicas[:1]
+        for attempt, shard in enumerate(order):
+            stats = self.stats[shard]
+            stats.reads_routed += 1
+            if attempt > 0:
+                stats.fallback_reads += 1
+            deadline = (
+                t_end
+                if attempt == len(order) - 1
+                else min(t_end, sim.now + fallback_ns)
+            )
+            handle = kv.stores[shard].handle(idx)
+            completed_before = len(stats.op_latency)
+            yield from self._protocols[shard].read_once(
+                handle, self._buf, self._wire, deadline
+            )
+            if len(stats.op_latency) > completed_before:
+                return True
+            if sim.now >= t_end:
+                return False
+        return False
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+
+
+class ShardedKV:
+    """A rack-scale KV service: ``n_shards`` storage nodes, each owning
+    one :class:`ObjectStore` shard, and a set of client nodes issuing
+    one-sided reads and RPC writes over the shared fabric."""
+
+    def __init__(self, cfg: ShardedConfig):
+        cfg.validate()
+        self.cfg = cfg
+        self.protocol_cls = _get_protocol(cfg.mechanism)
+        self.bound_cfg = _BoundConfig(
+            mechanism=cfg.mechanism,
+            object_size=cfg.object_size,
+            version_bits=cfg.version_bits,
+            costs=cfg.costs,
+        )
+        self.mechanism = self.protocol_cls.make_mechanism(self.bound_cfg)
+        self.layout = self.mechanism.layout if self.mechanism else RawLayout()
+
+        self.cluster = Cluster(cfg.cluster_config())
+        self.shards = [self.cluster.node(i) for i in range(cfg.n_shards)]
+        self.clients = [
+            self.cluster.node(cfg.n_shards + i) for i in range(cfg.clients)
+        ]
+        self.ring = HashRing(range(cfg.n_shards), vnodes=cfg.vnodes, seed=cfg.seed)
+        self.stores = [
+            ObjectStore(node.phys, self.layout, name=f"shard{node.node_id}")
+            for node in self.shards
+        ]
+
+        self._keys: Dict[str, int] = {}
+        self._placement: List[Tuple[int, ...]] = []
+        for idx in range(cfg.n_objects):
+            key = self.key_name(idx)
+            replicas = self.ring.replicas(key, cfg.replication)
+            self._keys[key] = idx
+            self._placement.append(replicas)
+            for shard in replicas:
+                self.stores[shard].create(idx, stamped_payload(0, cfg.payload_len))
+
+        self.write_stats = [ShardWriteStats() for _ in range(cfg.n_shards)]
+        self.write_latency = Samples("sharded_write_ns")
+        self.sessions: List[ReaderSession] = []
+        self._wcore = [0] * cfg.n_shards
+
+        self._shard_rpc = [
+            RpcEndpoint(node, workers=cfg.rpc_workers, costs=cfg.costs)
+            for node in self.shards
+        ]
+        self._client_rpc = [
+            RpcEndpoint(node, workers=cfg.rpc_workers, costs=cfg.costs)
+            for node in self.clients
+        ]
+        for shard in range(cfg.n_shards):
+            self._shard_rpc[shard].register(
+                "shard_put", self._make_update_handler(shard, replicate=True)
+            )
+            self._shard_rpc[shard].register(
+                "shard_replicate", self._make_update_handler(shard, replicate=False)
+            )
+
+    # ------------------------------------------------------------------
+    # key space and placement
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_name(idx: int) -> str:
+        return f"key-{idx}"
+
+    def keys(self) -> List[str]:
+        return list(self._keys)
+
+    def key_index(self, key: str) -> int:
+        try:
+            return self._keys[key]
+        except KeyError:
+            raise ConfigError(f"unknown key {key!r}") from None
+
+    def primary_of(self, key: str) -> int:
+        return self._placement[self.key_index(key)][0]
+
+    def replicas_of(self, key: str) -> Tuple[int, ...]:
+        return self._placement[self.key_index(key)]
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def reader_session(self, client_index: int) -> ReaderSession:
+        session = ReaderSession(self, client_index)
+        self.sessions.append(session)
+        return session
+
+    # ------------------------------------------------------------------
+    # write path: RPC to the primary, timed local update, async
+    # replication to the backups (§2.1's write shipping, scaled out)
+    # ------------------------------------------------------------------
+    def put(self, client_index: int, key: str):
+        """Issue a write from a client node; returns the RPC completion
+        event (triggers with the primary's ack)."""
+        idx = self.key_index(key)
+        primary = self._placement[idx][0]
+        self.write_stats[primary].writes_routed += 1
+        payload = idx.to_bytes(8, "little") + bytes(self.cfg.payload_len)
+        return self._client_rpc[client_index].call(
+            self.shards[primary].node_id, "shard_put", payload
+        )
+
+    def _make_update_handler(self, shard: int, replicate: bool):
+        def handler(payload: bytes):
+            return self._apply_update(shard, payload, replicate)
+
+        return handler
+
+    def _apply_update(self, shard: int, payload: bytes, replicate: bool):
+        """Owner-side update under the odd/even version protocol.
+
+        The new image goes through the shard's *timed* chip memory
+        system block by block (lock, data, commit), so coherence
+        invalidations reach any in-flight SABRe exactly as a local
+        writer's would — the property the safety tests pin down.
+        """
+        sim = self.cluster.sim
+        cfg = self.cfg
+        node = self.shards[shard]
+        store = self.stores[shard]
+        ws = self.write_stats[shard]
+        obj_id = int.from_bytes(payload[:8], "little")
+
+        while is_locked(store.current_version(obj_id)):
+            ws.lock_spins += 1
+            yield sim.timeout(LOCK_SPIN_NS)
+
+        # Same odd/even helpers the update plan uses internally, so the
+        # payload stamp can never diverge from the header version.
+        committed = commit_version(lock_version(store.current_version(obj_id)))
+        data = stamped_payload(committed, cfg.payload_len)
+        steps, _version = store.update_steps(obj_id, data)
+        core = self._wcore[shard] % self.cluster.cfg.node.cores.count
+        self._wcore[shard] += 1
+
+        # The lock step is applied before the first yield: between the
+        # lock check above and this store no other process can run, so
+        # two concurrent writers cannot both see an even version.
+        addr, chunk = steps[0]
+        latency = node.chip.write_block(core, addr, chunk)
+        yield sim.timeout(max(latency, cfg.costs.writer_block_ns))
+        yield sim.timeout(cfg.costs.writer_fixed_ns)
+        for addr, chunk in steps[1:]:
+            latency = node.chip.write_block(core, addr, chunk)
+            yield sim.timeout(max(latency, cfg.costs.writer_block_ns))
+
+        if replicate:
+            ws.primary_updates += 1
+            for backup in self._placement[obj_id][1:]:
+                # Asynchronous primary/backup replication: the ack does
+                # not wait for the backups (and the RPC worker pools
+                # therefore cannot deadlock on each other).
+                self._shard_rpc[shard].call(
+                    self.shards[backup].node_id, "shard_replicate", payload
+                )
+        else:
+            ws.replica_updates += 1
+        return b"\x01", 0.0
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def merged_shard_stats(self) -> List[ShardStats]:
+        """Per-shard read stats folded across every reader session."""
+        merged = [ShardStats() for _ in range(self.cfg.n_shards)]
+        for session in self.sessions:
+            for shard, stats in enumerate(session.stats):
+                merged[shard].merge(stats)
+        return merged
+
+    def all_reader_stats(self) -> List[ShardStats]:
+        """Every session's per-shard stats (e.g. for meter windows)."""
+        return [s for session in self.sessions for s in session.stats]
+
+    def shard_load(self) -> List[Dict[str, float]]:
+        """Per-shard load/conflict table: one row per shard combining
+        read routing, conflict, audit, and write/replication counters."""
+        rows: List[Dict[str, float]] = []
+        for shard, stats in enumerate(self.merged_shard_stats()):
+            ws = self.write_stats[shard]
+            rows.append(
+                {
+                    "shard": shard,
+                    "objects": len(self.stores[shard]),
+                    "reads_routed": stats.reads_routed,
+                    "fallback_reads": stats.fallback_reads,
+                    "retries": stats.retries,
+                    "sabre_aborts": stats.sabre_aborts,
+                    "software_conflicts": stats.software_conflicts,
+                    "undetected_violations": stats.undetected_violations,
+                    "writes_routed": ws.writes_routed,
+                    "primary_updates": ws.primary_updates,
+                    "replica_updates": ws.replica_updates,
+                    "lock_spins": ws.lock_spins,
+                }
+            )
+        return rows

@@ -125,24 +125,31 @@ class Process(Event):
 
 
 class AllOf(Event):
-    """Triggers when all child events have triggered."""
+    """Triggers when all child events have triggered.
 
-    __slots__ = ("_pending",)
+    The barrier's value is the list of child event values in *trigger*
+    order (the order the children completed, not construction order);
+    an empty barrier triggers immediately with ``[]``.
+    """
+
+    __slots__ = ("_pending", "_values")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         events = list(events)
         self._pending = len(events)
+        self._values: list[Any] = []
         if not events:
             self.succeed([])
             return
         for ev in events:
             ev.add_callback(self._child_done)
 
-    def _child_done(self, _event: Event) -> None:
+    def _child_done(self, event: Event) -> None:
+        self._values.append(event.value)
         self._pending -= 1
         if self._pending == 0 and not self._triggered:
-            self.succeed()
+            self.succeed(self._values)
 
 
 class Simulator:

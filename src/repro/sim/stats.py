@@ -136,6 +136,21 @@ class ThroughputMeter:
             return 0.0
         return self._ops / self.elapsed_ns * 1e3
 
+    def absorb(self, other: "ThroughputMeter") -> None:
+        """Fold another (stopped) meter's measurements into this one:
+        totals add, and the window becomes the union of both windows —
+        exact when the meters shared a measurement window, as parallel
+        readers metered by one process do."""
+        self._bytes += other._bytes
+        self._ops += other._ops
+        if other._window_end > other._window_start:
+            if self._window_end <= self._window_start:
+                self._window_start = other._window_start
+                self._window_end = other._window_end
+            else:
+                self._window_start = min(self._window_start, other._window_start)
+                self._window_end = max(self._window_end, other._window_end)
+
 
 class Breakdown:
     """Accumulates named latency components across operations, for the

@@ -9,8 +9,9 @@ travels back as a fabric packet.
 
 from __future__ import annotations
 
+import inspect
 import itertools
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Generator, Tuple, Union
 
 from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
 from repro.common.errors import ProtocolError
@@ -18,8 +19,17 @@ from repro.fabric.packets import Packet, PacketKind
 from repro.sim.engine import Event
 from repro.sim.resources import FifoResource
 
-#: Handler: payload -> (reply payload, extra service time in ns).
-RpcHandler = Callable[[bytes], Tuple[bytes, float]]
+#: What serving one request yields: (reply payload, extra service ns).
+RpcReply = Tuple[bytes, float]
+
+#: Handler: payload -> reply, either directly or as a *generator* that
+#: yields simulation events (timed memory writes, nested RPCs, ...)
+#: before returning the reply tuple — used by services whose request
+#: handling has internal timing structure, like the sharded store's
+#: replicated writes.
+RpcHandler = Callable[
+    [bytes], Union[RpcReply, Generator[Event, Any, RpcReply]]
+]
 
 
 class RpcEndpoint:
@@ -77,7 +87,11 @@ class RpcEndpoint:
         yield self._workers.acquire()
         try:
             yield self.sim.timeout(self.costs.rpc_dispatch_ns)
-            reply_payload, service_ns = handler(pkt.payload or b"")
+            outcome = handler(pkt.payload or b"")
+            if inspect.isgenerator(outcome):
+                reply_payload, service_ns = yield from outcome
+            else:
+                reply_payload, service_ns = outcome
             if service_ns > 0:
                 yield self.sim.timeout(service_ns)
             self.served += 1

@@ -1,4 +1,5 @@
-"""Workload generators and the paper's microbenchmarks (§6)."""
+"""Workload generators, the paper's microbenchmarks (§6), and the
+YCSB-style service mixes over the sharded store."""
 
 from repro.workloads.generators import (
     FIG1_SIZES,
@@ -6,12 +7,19 @@ from repro.workloads.generators import (
     FIG8_SIZES,
     CrewPartition,
     UniformPicker,
+    ZipfianPicker,
 )
 from repro.workloads.microbench import (
     MicrobenchConfig,
     MicrobenchResult,
     TimedWriter,
     run_microbench,
+)
+from repro.workloads.ycsb import (
+    YCSB_MIXES,
+    YcsbConfig,
+    YcsbResult,
+    run_ycsb,
 )
 
 __all__ = [
@@ -23,5 +31,10 @@ __all__ = [
     "MicrobenchResult",
     "TimedWriter",
     "UniformPicker",
+    "YCSB_MIXES",
+    "YcsbConfig",
+    "YcsbResult",
+    "ZipfianPicker",
     "run_microbench",
+    "run_ycsb",
 ]

@@ -79,6 +79,52 @@ def test_parallel_workers_overlap():
     assert max(finish) - min(finish) < 1000.0
 
 
+def test_generator_handler_yields_simulation_time():
+    """A handler may be a generator: it yields events (timed work,
+    nested calls) and returns the usual (reply, extra service) tuple."""
+    cluster, a, b = make_pair()
+
+    def handler(payload):
+        yield cluster.sim.timeout(400.0)
+        yield cluster.sim.timeout(300.0)
+        return payload.upper(), 100.0
+
+    a.register("timed", handler)
+    done = []
+
+    def client():
+        reply = yield b.call(0, "timed", b"abc")
+        done.append((cluster.sim.now, reply))
+
+    cluster.sim.process(client())
+    cluster.run()
+    assert done[0][1] == b"ABC"
+    # 2 fabric hops (70) + dispatch (180) + yields (700) + service (100).
+    assert done[0][0] >= 1050.0
+    assert a.served == 1
+
+
+def test_generator_handler_holds_worker_while_running():
+    cluster, a, b = make_pair()
+
+    def slow(payload):
+        yield cluster.sim.timeout(1000.0)
+        return b"", 0.0
+
+    a.register("slow_gen", slow)
+    finish = []
+
+    def client(i):
+        yield b.call(0, "slow_gen", bytes([i]))
+        finish.append(cluster.sim.now)
+
+    for i in range(2):
+        cluster.sim.process(client(i))
+    cluster.run()
+    # One worker: the generator's simulated time serializes requests.
+    assert finish[1] - finish[0] >= 1000.0
+
+
 def test_unknown_handler_raises():
     cluster, a, b = make_pair()
     calls = []

@@ -139,12 +139,49 @@ def test_all_of_empty_triggers_immediately():
     log = []
 
     def waiter():
-        yield sim.all_of([])
-        log.append(sim.now)
+        value = yield sim.all_of([])
+        log.append((sim.now, value))
 
     sim.process(waiter())
     sim.run()
-    assert log == [0.0]
+    assert log == [(0.0, [])]
+
+
+def test_all_of_value_collects_children_in_trigger_order():
+    """Regression: a non-empty AllOf used to succeed with ``None``
+    while an empty one succeeded with ``[]``.  The barrier's value is
+    now always a list — the child values in completion order."""
+    sim = Simulator()
+    log = []
+
+    def waiter():
+        value = yield sim.all_of(
+            [
+                sim.timeout(6.0, "slow"),
+                sim.timeout(1.0, "fast"),
+                sim.timeout(3.0, "mid"),
+            ]
+        )
+        log.append((sim.now, value))
+
+    sim.process(waiter())
+    sim.run()
+    assert log == [(6.0, ["fast", "mid", "slow"])]
+
+
+def test_all_of_includes_already_triggered_children():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+    log = []
+
+    def waiter():
+        value = yield sim.all_of([ev, sim.timeout(2.0, "late")])
+        log.append(value)
+
+    sim.process(waiter())
+    sim.run()
+    assert log == [["early", "late"]]
 
 
 def test_interrupt_breaks_wait():

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every ``*.md`` file in the repository for inline links and
+images (``[text](target)`` / ``![alt](target)``), skips external
+targets (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#...``), and verifies that every remaining target resolves to an
+existing file or directory relative to the markdown file (or to the
+repo root for absolute ``/``-prefixed targets).  Anchors on file
+targets (``foo.md#section``) are checked for file existence only.
+
+Usage::
+
+    python tools/check_links.py [repo_root]
+
+Exits 1 listing every broken link, 0 when the docs are sound.  Run by
+the CI docs job so documentation cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link/image: capture the (non-empty) target.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+#: Reference dumps quoting external repos/papers verbatim: links in
+#: quoted material point into *those* trees, not this one.
+SKIP_FILES = {"SNIPPETS.md", "PAPERS.md"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if path.name in SKIP_FILES and path.parent == root:
+            continue
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def check_file(root: Path, md: Path) -> list:
+    broken = []
+    for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = md.parent / path_part
+            if not resolved.exists():
+                broken.append((md.relative_to(root), lineno, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parents[1]
+    broken = []
+    checked = 0
+    for md in iter_markdown(root):
+        checked += 1
+        broken.extend(check_file(root, md))
+    if broken:
+        print(f"{len(broken)} broken intra-repo link(s):")
+        for path, lineno, target in broken:
+            print(f"  {path}:{lineno}: {target}")
+        return 1
+    print(f"ok: {checked} markdown files, no broken intra-repo links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
