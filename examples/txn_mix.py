@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Multi-object transactions over the sharded rack-scale KV service.
+
+Walks the transaction layer end to end:
+
+1. a hand-driven read-modify-write transaction — read set, lock,
+   validate, apply, replicate — with the per-shard txn stats it leaves
+   behind,
+2. a conflict: a writer sneaks a commit between a transaction's read
+   and its validation, forcing an abort and a retry,
+3. the YCSB-T-style mix comparing abort behavior across all five
+   Table 1 read mechanisms,
+4. what the unsafe baseline costs: ``remote_read`` transactions
+   consume torn snapshots the detecting mechanisms never admit.
+
+Run:  PYTHONPATH=src python examples/txn_mix.py
+"""
+
+from repro.objstore.sharded import ShardedConfig, ShardedKV
+from repro.objstore.txn import TxnManager
+from repro.workloads.txn_mix import PROTOCOL_VARIANTS, TxnMixConfig, run_txn_mix
+
+
+def demo_commit() -> None:
+    print("--- one read-modify-write transaction, step by step ---")
+    kv = ShardedKV(
+        ShardedConfig(n_shards=2, replication=2, n_objects=16, object_size=256)
+    )
+    manager = TxnManager(kv)
+    session = manager.session(0)
+    sim = kv.cluster.sim
+    keys = ["key-0", "key-1", "key-2"]
+
+    def txn():
+        outcome = yield from session.run(keys, keys[:2], t_end=200_000.0)
+        print(f"committed={outcome.committed} in {outcome.attempts} attempt(s)")
+        for key, entry in sorted(outcome.reads.items()):
+            print(
+                f"  read {key}: shard {entry.shard}, "
+                f"observed version {entry.version}, torn={entry.torn}"
+            )
+
+    sim.process(txn())
+    sim.run()
+    for key in keys[:2]:
+        idx = kv.key_index(key)
+        versions = [
+            kv.stores[shard].current_version(idx)
+            for shard in kv.replicas_of(key)
+        ]
+        print(f"  {key}: versions across replicas now {versions}")
+    for row in manager.txn_rows():
+        print(
+            f"  shard {row['shard']}: commits={row['commits']} "
+            f"lock_rpcs={row['lock_rpcs']} validate_rpcs={row['validate_rpcs']}"
+        )
+
+
+def demo_conflict() -> None:
+    print("\n--- a conflicting writer forces an abort and a retry ---")
+    kv = ShardedKV(
+        ShardedConfig(n_shards=2, replication=2, n_objects=16, object_size=256)
+    )
+    manager = TxnManager(kv)
+    session = manager.session(0)
+    sim = kv.cluster.sim
+    key = "key-0"
+    primary = kv.primary_of(key)
+
+    def txn():
+        outcome = yield from session.run([key], [key], t_end=200_000.0)
+        print(
+            f"committed={outcome.committed} after {outcome.attempts} attempts "
+            f"({outcome.validation_aborts} validation abort(s))"
+        )
+
+    def racer():
+        # Wait for the transaction's read, then commit a conflicting
+        # update before its lock lands.
+        while not session.reader.stats[primary].op_latency.values:
+            yield sim.timeout(50.0)
+        idx = kv.key_index(key)
+        from repro.objstore.layout import stamped_payload
+
+        kv.stores[primary].write(idx, stamped_payload(2, kv.cfg.payload_len))
+        print("racer committed version 2 between read and lock")
+
+    sim.process(txn())
+    sim.process(racer())
+    sim.run()
+
+
+def demo_mix() -> None:
+    print("\n--- YCSB-T mix: abort behavior across read mechanisms ---")
+    for label, mechanism in PROTOCOL_VARIANTS:
+        result = run_txn_mix(
+            TxnMixConfig(
+                mechanism=mechanism,
+                n_shards=2,
+                n_objects=24,
+                txn_size=3,
+                writes_per_txn=2,
+                rmw_fraction=0.5,
+                distribution="zipfian",
+                duration_ns=80_000.0,
+                warmup_ns=10_000.0,
+                seed=5,
+            )
+        )
+        print(
+            f"{label:9s} commits={result.commits:4d} "
+            f"abort_rate={result.abort_rate:5.2f} "
+            f"lock={result.lock_aborts:3d} validate={result.validation_aborts:3d} "
+            f"violations={result.undetected_violations} "
+            f"torn_reads={result.torn_reads_observed}"
+        )
+    print(
+        "note: detecting mechanisms keep torn_reads at 0; the remote_read\n"
+        "baseline consumes torn snapshots whenever writers race its reads."
+    )
+
+
+def main() -> None:
+    demo_commit()
+    demo_conflict()
+    demo_mix()
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,7 @@ _BUILTIN_MODULES = (
     "repro.harness.tables",
     "repro.experiments.ablations",
     "repro.workloads.ycsb",
+    "repro.workloads.txn_mix",
 )
 _builtin_loaded = False
 

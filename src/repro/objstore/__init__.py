@@ -1,4 +1,5 @@
-"""FaRM-like distributed object store: layouts, allocation, KV."""
+"""FaRM-like distributed object store: layouts, allocation, KV, and
+multi-object transactions."""
 
 from repro.objstore.layout import (
     DATA_PER_LINE,
@@ -8,6 +9,13 @@ from repro.objstore.layout import (
     RawLayout,
 )
 from repro.objstore.store import ObjectHandle, ObjectStore
+from repro.objstore.txn import (
+    TxnManager,
+    TxnOutcome,
+    TxnRead,
+    TxnSession,
+    TxnStats,
+)
 
 __all__ = [
     "DATA_PER_LINE",
@@ -17,4 +25,9 @@ __all__ = [
     "ObjectStore",
     "PerCacheLineLayout",
     "RawLayout",
+    "TxnManager",
+    "TxnOutcome",
+    "TxnRead",
+    "TxnSession",
+    "TxnStats",
 ]

@@ -69,6 +69,16 @@ def _get_protocol(name: str):
 #: version odd (same pacing as the microbenchmark's ``TimedWriter``).
 LOCK_SPIN_NS = 25.0
 
+#: How many times a primary ``shard_put`` handler re-checks a held lock
+#: before giving up and replying "busy" (the client re-issues the RPC).
+#: A bounded spin keeps the worker pool live-lock free now that
+#: transactions (:mod:`repro.objstore.txn`) can hold an object's lock
+#: across *multiple* RPC round trips: an unbounded spin could pin every
+#: worker of a shard while the lock holder's own commit RPC sat queued
+#: behind them.  Backup replication keeps the unbounded spin — backups
+#: are only ever locked by other (bounded) replica updates.
+PUT_SPIN_LIMIT = 64
+
 
 # ----------------------------------------------------------------------
 # consistent hashing
@@ -258,6 +268,11 @@ class ShardWriteStats:
     primary_updates: int = 0
     replica_updates: int = 0
     lock_spins: int = 0
+    #: Primary puts bounced after ``PUT_SPIN_LIMIT`` lock re-checks
+    #: (the client retries; see the spin-bound rationale above).
+    busy_rejects: int = 0
+    #: Client-side re-issues of busy-bounced puts.
+    write_retries: int = 0
 
 
 class _ShardBinding:
@@ -304,6 +319,29 @@ class ReaderSession:
             for shard in range(kv.cfg.n_shards)
         ]
 
+    def attempt(self, shard: int, idx: int, deadline: float):
+        """One protocol read of object ``idx``'s copy on ``shard`` (a
+        simulation generator).  Returns ``True`` iff a read was
+        consumed; the consumed observation is then available through
+        :meth:`last_read`.  Every consumed read — primary or fallback —
+        goes through the same protocol instance, so retry bookkeeping,
+        latency/meter recording, and the ground-truth torn-read audit
+        land in this session's per-shard stats identically."""
+        stats = self.stats[shard]
+        handle = self.kv.stores[shard].handle(idx)
+        completed_before = len(stats.op_latency)
+        yield from self._protocols[shard].read_once(
+            handle, self._buf, self._wire, deadline
+        )
+        return len(stats.op_latency) > completed_before
+
+    def last_read(self, shard: int) -> Tuple[Optional[int], Optional[bytes]]:
+        """The ``(version, payload)`` observation of the most recent
+        consumed read against ``shard`` (the read-set entry a
+        transaction records)."""
+        protocol = self._protocols[shard]
+        return protocol.last_version, protocol.last_data
+
     def lookup(self, key: str, t_end: float):
         """One atomic lookup of ``key`` as a simulation generator.
 
@@ -329,12 +367,8 @@ class ReaderSession:
                 if attempt == len(order) - 1
                 else min(t_end, sim.now + fallback_ns)
             )
-            handle = kv.stores[shard].handle(idx)
-            completed_before = len(stats.op_latency)
-            yield from self._protocols[shard].read_once(
-                handle, self._buf, self._wire, deadline
-            )
-            if len(stats.op_latency) > completed_before:
+            ok = yield from self.attempt(shard, idx, deadline)
+            if ok:
                 return True
             if sim.now >= t_end:
                 return False
@@ -429,6 +463,26 @@ class ShardedKV:
         return self._placement[self.key_index(key)]
 
     # ------------------------------------------------------------------
+    # endpoints and cores
+    # ------------------------------------------------------------------
+    def shard_rpc(self, shard: int) -> RpcEndpoint:
+        """The RPC endpoint of storage shard ``shard`` (extra services,
+        e.g. the transaction layer, register their handlers here)."""
+        return self._shard_rpc[shard]
+
+    def client_rpc(self, client_index: int) -> RpcEndpoint:
+        """The RPC endpoint of client node ``client_index``."""
+        return self._client_rpc[client_index]
+
+    def next_writer_core(self, shard: int) -> int:
+        """Round-robin core assignment for timed writes applied on a
+        shard (shared by the put path and the transaction handlers, so
+        writer load spreads over the chip either way)."""
+        core = self._wcore[shard] % self.cluster.cfg.node.cores.count
+        self._wcore[shard] += 1
+        return core
+
+    # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
     def reader_session(self, client_index: int) -> ReaderSession:
@@ -441,15 +495,28 @@ class ShardedKV:
     # replication to the backups (§2.1's write shipping, scaled out)
     # ------------------------------------------------------------------
     def put(self, client_index: int, key: str):
-        """Issue a write from a client node; returns the RPC completion
-        event (triggers with the primary's ack)."""
+        """Issue a write from a client node; returns an event that
+        triggers with the primary's ack.
+
+        The primary may reply "busy" when the object's lock stayed held
+        past ``PUT_SPIN_LIMIT`` re-checks (e.g. a transaction commit in
+        flight); the client process re-issues the RPC until the update
+        lands, so callers still observe exactly one acked write."""
         idx = self.key_index(key)
         primary = self._placement[idx][0]
         self.write_stats[primary].writes_routed += 1
         payload = idx.to_bytes(8, "little") + bytes(self.cfg.payload_len)
-        return self._client_rpc[client_index].call(
-            self.shards[primary].node_id, "shard_put", payload
-        )
+
+        def retrying_put():
+            while True:
+                reply = yield self._client_rpc[client_index].call(
+                    self.shards[primary].node_id, "shard_put", payload
+                )
+                if reply == b"\x01":
+                    return reply
+                self.write_stats[primary].write_retries += 1
+
+        return self.cluster.sim.process(retrying_put())
 
     def _make_update_handler(self, shard: int, replicate: bool):
         def handler(payload: bytes):
@@ -472,7 +539,16 @@ class ShardedKV:
         ws = self.write_stats[shard]
         obj_id = int.from_bytes(payload[:8], "little")
 
+        spins = 0
         while is_locked(store.current_version(obj_id)):
+            if replicate and spins >= PUT_SPIN_LIMIT:
+                # Primary path only: give the worker back so whoever
+                # holds the lock can get its own RPC served (the client
+                # re-issues).  Replica updates never bounce — backups
+                # are only locked by other bounded replica updates.
+                ws.busy_rejects += 1
+                return b"\x00", 0.0
+            spins += 1
             ws.lock_spins += 1
             yield sim.timeout(LOCK_SPIN_NS)
 
@@ -481,8 +557,7 @@ class ShardedKV:
         committed = commit_version(lock_version(store.current_version(obj_id)))
         data = stamped_payload(committed, cfg.payload_len)
         steps, _version = store.update_steps(obj_id, data)
-        core = self._wcore[shard] % self.cluster.cfg.node.cores.count
-        self._wcore[shard] += 1
+        core = self.next_writer_core(shard)
 
         # The lock step is applied before the first yield: between the
         # lock check above and this store no other process can run, so
@@ -543,6 +618,8 @@ class ShardedKV:
                     "primary_updates": ws.primary_updates,
                     "replica_updates": ws.replica_updates,
                     "lock_spins": ws.lock_spins,
+                    "busy_rejects": ws.busy_rejects,
+                    "write_retries": ws.write_retries,
                 }
             )
         return rows

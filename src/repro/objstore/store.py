@@ -130,26 +130,60 @@ class ObjectStore:
         goes even.  Returns ``(steps, commit_version)``.
         """
         h = self.handle(obj_id)
-        if len(data) != h.data_len:
-            raise SimulationError(
-                f"object {obj_id} holds {h.data_len} bytes; "
-                f"updates must preserve the size (got {len(data)})"
-            )
         current = self.current_version(obj_id)
         locked = lock_version(current)
-        committed = commit_version(locked)
+        vo = self.layout.version_offset
+        steps: List[WriteStep] = [
+            (h.base_addr + vo, locked.to_bytes(8, "little"))
+        ]
+        tail, committed = self._commit_tail(h, locked, data)
+        steps.extend(tail)
+        return steps, committed
 
+    def _commit_tail(
+        self, h: ObjectHandle, locked: int, data: bytes
+    ) -> Tuple[List[WriteStep], int]:
+        """Steps (2)-(3) of the §4.2 plan, shared by :meth:`update_steps`
+        and :meth:`commit_steps` so the plain-put and transactional
+        write paths can never desynchronize: the new committed image
+        block by block (header word still ``locked``), then the even
+        version."""
+        if len(data) != h.data_len:
+            raise SimulationError(
+                f"object {h.obj_id} holds {h.data_len} bytes; "
+                f"updates must preserve the size (got {len(data)})"
+            )
+        committed = commit_version(locked)
         image = bytearray(self.layout.pack(committed, data))
         vo = self.layout.version_offset
         image[vo : vo + VERSION_BYTES] = locked.to_bytes(8, "little")
 
-        steps: List[WriteStep] = [
-            (h.base_addr + vo, locked.to_bytes(8, "little"))
-        ]
+        steps: List[WriteStep] = []
         for off in range(0, len(image), CACHE_BLOCK):
             steps.append((h.base_addr + off, bytes(image[off : off + CACHE_BLOCK])))
         steps.append((h.base_addr + vo, committed.to_bytes(8, "little")))
         return steps, committed
+
+    def commit_steps(
+        self, obj_id: int, data: bytes
+    ) -> Tuple[List[WriteStep], int]:
+        """Write plan finishing an update on an *already locked* object:
+        data blocks carrying the new committed image first, the header
+        version going even last.
+
+        This is the tail of :meth:`update_steps` for writers whose lock
+        acquisition happened earlier and separately — the transaction
+        layer's commit phase, where the lock RPC flipped the version odd
+        before validation.  Raises when the object is not locked.
+        """
+        h = self.handle(obj_id)
+        locked = self.current_version(obj_id)
+        if not is_locked(locked):
+            raise SimulationError(
+                f"object {obj_id} is not locked (version {locked}); "
+                "commit_steps needs a prior lock acquisition"
+            )
+        return self._commit_tail(h, locked, data)
 
     # ------------------------------------------------------------------
     # region metadata (driver registration, §4.2)

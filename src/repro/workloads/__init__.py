@@ -15,6 +15,11 @@ from repro.workloads.microbench import (
     TimedWriter,
     run_microbench,
 )
+from repro.workloads.txn_mix import (
+    TxnMixConfig,
+    TxnMixResult,
+    run_txn_mix,
+)
 from repro.workloads.ycsb import (
     YCSB_MIXES,
     YcsbConfig,
@@ -30,11 +35,14 @@ __all__ = [
     "MicrobenchConfig",
     "MicrobenchResult",
     "TimedWriter",
+    "TxnMixConfig",
+    "TxnMixResult",
     "UniformPicker",
     "YCSB_MIXES",
     "YcsbConfig",
     "YcsbResult",
     "ZipfianPicker",
     "run_microbench",
+    "run_txn_mix",
     "run_ycsb",
 ]

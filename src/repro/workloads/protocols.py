@@ -80,6 +80,19 @@ class ReadProtocol:
         self.dst = bench.dst
         self.store = bench.store
         self.mechanism = bench.mechanism
+        #: Observation carried by the most recent *consumed* read: the
+        #: committed version the mechanism vouched for (for SABRes, the
+        #: hardware-validated version from the completion) and the
+        #: payload bytes.  The transaction layer reads these to build
+        #: its read set; they are only meaningful right after
+        #: :meth:`read_once` consumed a read.
+        self.last_version: Optional[int] = None
+        self.last_data: Optional[bytes] = None
+
+    def observe(self, version: int, data: Optional[bytes]) -> None:
+        """Record the consumed read's ``(version, payload)`` snapshot."""
+        self.last_version = version
+        self.last_data = data
 
     # -- construction hooks --------------------------------------------
     @staticmethod
@@ -149,7 +162,11 @@ class RawRemoteReadProtocol(ReadProtocol):
 
     def complete(self, result, buf: int, wire: int):
         raw = self.src.read_local(buf, wire)
-        self.layout.unpack(raw, self.cfg.payload_len)
+        strip = self.layout.unpack(raw, self.cfg.payload_len)
+        # The observation is recorded (a transaction still needs the
+        # version it saw), but the payload is returned as None: no
+        # audit, torn data is this baseline's expected behavior.
+        self.observe(strip.version, strip.data)
         return True, None
         yield  # pragma: no cover - generator marker
 
@@ -172,6 +189,10 @@ class HardwareSabreProtocol(ReadProtocol):
             return False, None
         raw = self.src.read_local(buf, wire)
         strip = self.layout.unpack(raw, self.cfg.payload_len)
+        # Prefer the SABRe verdict's version (what the destination
+        # hardware validated) over the transferred header.
+        verdict = result.remote_version
+        self.observe(strip.version if verdict is None else verdict, strip.data)
         yield self.bench.cluster.sim.timeout(
             self.costs.app_consume_ns(self.cfg.payload_len, "microbench")
         )
@@ -198,6 +219,7 @@ class SoftwareCheckProtocol(ReadProtocol):
         if not strip.ok:
             self.stats.software_conflicts += 1
             return False, None
+        self.observe(strip.version, strip.data)
         return True, strip.data
 
 
@@ -265,6 +287,7 @@ class DrtmLockProtocol(ReadProtocol):
             yield self.src.remote_write(
                 self.dst.node_id, version_addr, observed.to_bytes(8, "little")
             )
+            self.observe(observed, bytes(raw[8 : 8 + cfg.payload_len]))
             self.audit(bytes(raw[8 : 8 + cfg.payload_len]))
             yield sim.timeout(costs.app_consume_ns(cfg.payload_len, "microbench"))
             self.stats.op_latency.add(sim.now - t0)

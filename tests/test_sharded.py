@@ -5,7 +5,7 @@ and the SABRe safety property under concurrent shard writers."""
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.objstore.layout import is_locked
+from repro.objstore.layout import is_locked, stamped_payload
 from repro.objstore.sharded import (
     HashRing,
     ShardedConfig,
@@ -197,6 +197,105 @@ class TestReadFallback:
         kv.cluster.sim.run()
         assert outcome == [False]
         assert all(s.fallback_reads == 0 for s in session.stats)
+
+
+class TestFallbackAudit:
+    """Backup-fallback reads must flow through the exact same per-shard
+    accounting as primary reads: routed/fallback counters, latency
+    samples, and — the regression this class pins — the ground-truth
+    torn-read audit.  A torn payload that sneaks past the software
+    check must increment ``undetected_violations`` on the serving
+    shard whether it was read from a primary or a backup."""
+
+    @staticmethod
+    def _torn_but_check_passing_image(kv, shard, idx):
+        """Overwrite ``idx``'s copy on ``shard`` with an image whose
+        per-cache-line stamps are self-consistent (the percl check
+        passes) but whose payload words disagree (ground-truth torn) —
+        the signature of the silent violations Table 1 studies."""
+        length = kv.cfg.payload_len
+        half = (length // 2 // 8) * 8
+        torn = stamped_payload(2, half) + stamped_payload(4, length - half)
+        store = kv.stores[shard]
+        store.phys.write(store.handle(idx).base_addr, kv.layout.pack(2, torn))
+
+    def _kv(self, fallback_ns=2_000.0):
+        return ShardedKV(
+            ShardedConfig(
+                n_shards=2,
+                replication=2,
+                mechanism="percl_versions",
+                object_size=256,
+                n_objects=32,
+                seed=7,
+                fallback_after_ns=fallback_ns,
+            )
+        )
+
+    def _run_lookup(self, kv, session, key):
+        outcome = []
+
+        def reader():
+            ok = yield from session.lookup(key, t_end=50_000.0)
+            outcome.append(ok)
+
+        kv.cluster.sim.process(reader())
+        kv.cluster.sim.run()
+        return outcome[0]
+
+    def test_fallback_read_counted_in_audit_like_primary_read(self):
+        kv = self._kv()
+        key = kv.keys()[0]
+        idx = kv.key_index(key)
+        primary, backup = kv.replicas_of(key)
+        # Wedge the primary (odd version: every check fails) and plant
+        # the torn-but-valid image on the backup the read falls back to.
+        store = kv.stores[primary]
+        locked = store.current_version(idx) + 1
+        store.phys.write(store.version_addr(idx), locked.to_bytes(8, "little"))
+        self._torn_but_check_passing_image(kv, backup, idx)
+
+        session = kv.reader_session(0)
+        assert self._run_lookup(kv, session, key) is True
+        assert session.stats[backup].fallback_reads == 1
+        assert session.stats[backup].reads_routed == 1
+        assert len(session.stats[backup].op_latency) == 1
+        # The regression: the audit fired on the *fallback* read.
+        assert session.stats[backup].undetected_violations == 1
+        assert session.stats[primary].undetected_violations == 0
+
+    def test_primary_read_audit_baseline_matches(self):
+        """The same planted image on the primary produces the same
+        accounting there — fallback and primary paths are symmetric."""
+        kv = self._kv(fallback_ns=0.0)
+        key = kv.keys()[0]
+        idx = kv.key_index(key)
+        primary = kv.primary_of(key)
+        self._torn_but_check_passing_image(kv, primary, idx)
+
+        session = kv.reader_session(0)
+        assert self._run_lookup(kv, session, key) is True
+        assert session.stats[primary].reads_routed == 1
+        assert session.stats[primary].fallback_reads == 0
+        assert len(session.stats[primary].op_latency) == 1
+        assert session.stats[primary].undetected_violations == 1
+
+    def test_fallback_audit_lands_in_merged_shard_rows(self):
+        kv = self._kv()
+        key = kv.keys()[0]
+        idx = kv.key_index(key)
+        primary, backup = kv.replicas_of(key)
+        store = kv.stores[primary]
+        locked = store.current_version(idx) + 1
+        store.phys.write(store.version_addr(idx), locked.to_bytes(8, "little"))
+        self._torn_but_check_passing_image(kv, backup, idx)
+
+        session = kv.reader_session(0)
+        assert self._run_lookup(kv, session, key) is True
+        rows = {row["shard"]: row for row in kv.shard_load()}
+        assert rows[backup]["undetected_violations"] == 1
+        assert rows[backup]["fallback_reads"] == 1
+        assert rows[primary]["undetected_violations"] == 0
 
 
 class TestSafety:

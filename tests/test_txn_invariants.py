@@ -1,0 +1,165 @@
+"""Cross-protocol invariants: for one ``(seed, workload)`` every read
+mechanism must agree with the committed ground truth; placement must
+be byte-identical run to run (and across interpreter hash seeds); and
+virtual-node placement must stay load-balanced."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.objstore.layout import stamped_payload
+from repro.objstore.sharded import HashRing, ShardedConfig, ShardedKV
+from repro.objstore.txn import TxnManager
+from repro.workloads.protocols import protocol_names
+
+DETECTING = ("sabre", "percl_versions", "checksum", "drtm_lock")
+
+
+def run_schedule(
+    mechanism: str, with_writers: bool, seed: int = 9, rmw: bool = True
+):
+    """A fixed transaction schedule against one mechanism; returns the
+    consumed read-set entries of every committed *and* aborted attempt
+    plus the service handle."""
+    kv = ShardedKV(
+        ShardedConfig(
+            n_shards=2,
+            replication=2,
+            mechanism=mechanism,
+            object_size=256,
+            n_objects=16,
+            seed=seed,
+        )
+    )
+    manager = TxnManager(kv)
+    sim = kv.cluster.sim
+    t_end = 60_000.0
+    session = manager.session(0)
+    entries = []
+
+    def txns():
+        while sim.now < t_end:
+            for start in (0, 4, 8):
+                keys = [kv.key_name(start + j) for j in range(4)]
+                writes = keys[:2] if rmw else []
+                outcome = yield from session.run(keys, writes, t_end)
+                entries.extend(outcome.reads.values())
+
+    def writer():
+        while sim.now < t_end:
+            for idx in range(0, 16, 3):
+                yield kv.put(1, kv.key_name(idx))
+                yield sim.timeout(120.0)
+
+    sim.process(txns())
+    if with_writers:
+        sim.process(writer())
+    sim.run()
+    return entries, kv, manager
+
+
+class TestGroundTruthValues:
+    @pytest.mark.parametrize("mechanism", DETECTING)
+    def test_consumed_values_match_committed_ground_truth(self, mechanism):
+        """Under racing writers, every payload a detecting protocol
+        consumes is a committed image: its words all carry the version
+        the protocol observed."""
+        entries, _kv, manager = run_schedule(mechanism, with_writers=True)
+        assert entries
+        for entry in entries:
+            assert entry.data == stamped_payload(entry.version, len(entry.data))
+        assert manager.merged_stats().torn_reads_observed == 0
+
+    def test_quiescent_store_all_protocols_agree_byte_identically(self):
+        """With no writers there is a single committed ground truth and
+        all five mechanisms must read exactly it."""
+        snapshots = {}
+        for mechanism in protocol_names():
+            entries, kv, _manager = run_schedule(
+                mechanism, with_writers=False, rmw=False
+            )
+            assert entries
+            for entry in entries:
+                assert entry.version == 0
+                assert entry.data == stamped_payload(0, kv.cfg.payload_len)
+            snapshots[mechanism] = sorted(
+                (e.key, e.version, e.data) for e in entries
+            )
+        baseline = snapshots[protocol_names()[0]]
+        for mechanism, snapshot in snapshots.items():
+            assert set(snapshot) == set(baseline), mechanism
+
+
+class TestPlacementDeterminism:
+    @staticmethod
+    def _ring_bytes(seed: int, shards: int = 4, vnodes: int = 64) -> bytes:
+        ring = HashRing(range(shards), vnodes=vnodes, seed=seed)
+        return b"".join(
+            h.to_bytes(8, "little") + s.to_bytes(2, "little")
+            for h, s in ring._points
+        )
+
+    def test_ring_byte_identical_within_process(self):
+        assert self._ring_bytes(5) == self._ring_bytes(5)
+        assert self._ring_bytes(5) != self._ring_bytes(6)
+
+    def test_ring_byte_identical_across_hash_seeds(self):
+        """Placement must not depend on interpreter state: a fresh
+        process with a different PYTHONHASHSEED produces the identical
+        ring bytes."""
+        script = (
+            "from repro.objstore.sharded import HashRing;"
+            "ring = HashRing(range(4), vnodes=64, seed=5);"
+            "import sys;"
+            "blob = b''.join(h.to_bytes(8, 'little') + s.to_bytes(2, 'little')"
+            " for h, s in ring._points);"
+            "sys.stdout.write(blob.hex())"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        src_dir = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src_dir)
+        blob = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        assert bytes.fromhex(blob) == self._ring_bytes(5)
+
+    def test_sharded_placement_identical_across_builds(self):
+        cfg = dict(n_shards=4, replication=2, n_objects=64, seed=21)
+        a = ShardedKV(ShardedConfig(**cfg))
+        b = ShardedKV(ShardedConfig(**cfg))
+        assert [a.replicas_of(k) for k in a.keys()] == [
+            b.replicas_of(k) for k in b.keys()
+        ]
+
+
+class TestVnodeBalance:
+    @pytest.mark.parametrize("seed", (1, 7, 11, 42))
+    def test_64_vnodes_bound_shard_imbalance(self, seed):
+        """With 64 virtual nodes per shard, the heaviest shard owns at
+        most twice the keys of the lightest (the classic consistent-
+        hashing variance bound this vnode count buys)."""
+        ring = HashRing(range(4), vnodes=64, seed=seed)
+        counts = {shard: 0 for shard in range(4)}
+        for i in range(4096):
+            counts[ring.primary(f"key-{i}")] += 1
+        assert all(count > 0 for count in counts.values())
+        assert max(counts.values()) / min(counts.values()) <= 2.0
+
+    def test_single_vnode_is_visibly_worse(self):
+        """Sanity check that the bound is earned by the vnodes: with
+        one point per shard the imbalance blows well past it."""
+        worst = 0.0
+        for seed in (1, 7, 11, 42):
+            ring = HashRing(range(4), vnodes=1, seed=seed)
+            counts = {shard: 0 for shard in range(4)}
+            for i in range(4096):
+                counts[ring.primary(f"key-{i}")] += 1
+            lightest = max(min(counts.values()), 1)
+            worst = max(worst, max(counts.values()) / lightest)
+        assert worst > 2.0
