@@ -27,3 +27,19 @@ class AtomicityError(ReproError):
 class ProtocolError(ReproError):
     """A soNUMA protocol invariant was violated (e.g. reply without
     a matching request, duplicate completion)."""
+
+
+class ShardCrashedError(ReproError):
+    """An operation targeted a node whose lease has expired (crashed).
+
+    This is a *value*, not a raised exception, on the failure paths the
+    failover subsystem injects: an RPC completion (or write ack) whose
+    target crashed triggers with an instance of this class instead of
+    reply bytes, so callers re-route to the promoted replica instead of
+    unwinding the whole simulation.
+    """
+
+    def __init__(self, node_id: int, detail: str = ""):
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"node {node_id} crashed{suffix}")
+        self.node_id = node_id

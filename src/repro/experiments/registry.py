@@ -29,6 +29,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.ablations",
     "repro.workloads.ycsb",
     "repro.workloads.txn_mix",
+    "repro.workloads.availability",
 )
 _builtin_loaded = False
 

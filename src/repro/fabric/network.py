@@ -65,12 +65,28 @@ class Fabric:
         self.nodes = nodes
         self._links: Dict[tuple[int, int], Link] = {}
         self._handlers: Dict[int, PacketHandler] = {}
+        self._alive = [True] * nodes
+        self.packets_dropped = 0
 
     def attach(self, node_id: int, handler: PacketHandler) -> None:
         """Register the packet sink for one node's NI."""
         if not 0 <= node_id < self.nodes:
             raise ConfigError(f"node {node_id} outside fabric of {self.nodes}")
         self._handlers[node_id] = handler
+
+    # ------------------------------------------------------------------
+    # membership (the failover subsystem's lease view)
+    # ------------------------------------------------------------------
+    def alive(self, node_id: int) -> bool:
+        return self._alive[node_id]
+
+    def set_alive(self, node_id: int, alive: bool) -> None:
+        """Flip one node's membership.  A dead node neither sends nor
+        receives: packets from or to it are silently dropped, which is
+        how a crash looks to everyone else on a lossless fabric."""
+        if not 0 <= node_id < self.nodes:
+            raise ConfigError(f"node {node_id} outside fabric of {self.nodes}")
+        self._alive[node_id] = alive
 
     def _ring_hops(self, src: int, dst: int) -> int:
         if src == dst:
@@ -93,7 +109,15 @@ class Fabric:
         return link
 
     def send(self, packet: Packet) -> float:
-        """Route ``packet`` to its destination node's handler."""
+        """Route ``packet`` to its destination node's handler.
+
+        Packets from or to a crashed node are dropped (returning the
+        current time): a dead NI produces and accepts nothing, and
+        failure handling happens at the endpoints (typed RPC failures,
+        aborted transfers), never in the fabric."""
+        if not (self._alive[packet.src_node] and self._alive[packet.dst_node]):
+            self.packets_dropped += 1
+            return self.sim.now
         handler = self._handlers.get(packet.dst_node)
         if handler is None:
             raise ConfigError(f"no handler attached for node {packet.dst_node}")

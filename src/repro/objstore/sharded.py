@@ -34,13 +34,14 @@ workload layer (see :mod:`repro.workloads.ycsb`).
 from __future__ import annotations
 
 import bisect
+import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.common.config import ClusterConfig, FabricConfig, NodeConfig
 from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
-from repro.common.errors import ConfigError
-from repro.common.rng import derive_seed
+from repro.common.errors import ConfigError, ShardCrashedError
+from repro.common.rng import derive_seed, make_rng
 from repro.objstore.layout import (
     RawLayout,
     commit_version,
@@ -78,6 +79,28 @@ LOCK_SPIN_NS = 25.0
 #: behind them.  Backup replication keeps the unbounded spin — backups
 #: are only ever locked by other (bounded) replica updates.
 PUT_SPIN_LIMIT = 64
+
+#: Client-side backoff before re-issuing a busy-bounced put: base
+#: doubles per consecutive bounce up to the cap, with a deterministic
+#: jitter factor so colliding writers decorrelate.  Without it, a
+#: transaction holding a hot lock across RPC round trips can starve
+#: plain puts: every bounced client re-issued instantly, keeping the
+#: shard's worker pool saturated with retries.
+PUT_BACKOFF_BASE_NS = 50.0
+PUT_BACKOFF_CAP_NS = 1_600.0
+
+#: How long a client waits before re-checking the view when *no*
+#: replica of a key is serving (total outage, e.g. replication=1 and
+#: the only copy crashed).
+OUTAGE_POLL_NS = 500.0
+
+#: RPC reply tags shared by the put path and the transaction layer.
+REPLY_OK = b"\x01"
+REPLY_BUSY = b"\x00"
+#: The receiver refused because the request's epoch is stale or the
+#: receiver no longer (or does not yet) own the object -- the fencing
+#: that keeps a demoted primary from serving after a promotion.
+REPLY_FENCED = b"\x02"
 
 
 # ----------------------------------------------------------------------
@@ -120,12 +143,20 @@ class HashRing:
         return self._points[self._slot(key)][1]
 
     def replicas(self, key: str, n: int) -> Tuple[int, ...]:
-        """``n`` distinct shards for ``key``, primary first, in ring
-        walk order (the standard consistent-hashing successor list)."""
-        if not 1 <= n <= len(self.shard_ids):
-            raise ConfigError(
-                f"replication {n} impossible with {len(self.shard_ids)} shards"
-            )
+        """``min(n, shards)`` distinct shards for ``key``, primary
+        first, in ring walk order (the standard consistent-hashing
+        successor list).
+
+        ``n`` is clamped to the shard count rather than rejected: a
+        successor list can never name more distinct shards than exist,
+        and callers sizing replication against a shrinking deployment
+        want the longest valid list, not an error.  The walk covers
+        every ring point, so even adversarial vnode placements (all of
+        one shard's points clustered, hash collisions between shards'
+        points) cannot make the list shorter than that."""
+        if n < 1:
+            raise ConfigError(f"replication must be >= 1: {n}")
+        want = min(n, len(self.shard_ids))
         seen = set()
         out: List[int] = []
         start = self._slot(key)
@@ -134,8 +165,12 @@ class HashRing:
             if shard not in seen:
                 seen.add(shard)
                 out.append(shard)
-                if len(out) == n:
+                if len(out) == want:
                     break
+        if len(out) != want:  # pragma: no cover - full walk finds all
+            raise ConfigError(
+                f"ring walk found {len(out)} shards, wanted {want}"
+            )
         return tuple(out)
 
 
@@ -245,6 +280,12 @@ class ShardStats:
         self.retries = 0
         self.undetected_violations = 0
         self.reads_routed = 0
+        #: Attempts *issued* against this shard as a non-first replica
+        #: (the walk reached it); compare with ``fallback_reads``, which
+        #: counts only the attempts that actually consumed a read — the
+        #: split is what makes a deadline expiring mid-attempt visible
+        #: instead of silently inflating the fallback-success count.
+        self.fallback_attempts = 0
         self.fallback_reads = 0
 
     def merge(self, other: "ShardStats") -> None:
@@ -256,6 +297,7 @@ class ShardStats:
         self.retries += other.retries
         self.undetected_violations += other.undetected_violations
         self.reads_routed += other.reads_routed
+        self.fallback_attempts += other.fallback_attempts
         self.fallback_reads += other.fallback_reads
 
 
@@ -264,6 +306,8 @@ class ShardWriteStats:
     """Write-side load counters for one shard (kept on the service —
     increments are atomic between simulation yields)."""
 
+    #: Put RPCs issued against this shard as its primary, including
+    #: re-issues after a busy bounce and redirects after a promotion.
     writes_routed: int = 0
     primary_updates: int = 0
     replica_updates: int = 0
@@ -271,8 +315,16 @@ class ShardWriteStats:
     #: Primary puts bounced after ``PUT_SPIN_LIMIT`` lock re-checks
     #: (the client retries; see the spin-bound rationale above).
     busy_rejects: int = 0
-    #: Client-side re-issues of busy-bounced puts.
+    #: Client-side re-issues of busy-bounced puts, attributed to the
+    #: shard that bounced — so ``busy_rejects == write_retries`` holds
+    #: per shard even when later re-issues land on a promoted backup.
     write_retries: int = 0
+    #: Requests refused because their epoch was stale or this shard no
+    #: longer (or does not yet) own the object.
+    fenced_rejects: int = 0
+    #: Puts re-routed away from this shard after its crash was detected
+    #: mid-call (the typed-error path; the put lands on the promotee).
+    crash_redirects: int = 0
 
 
 class _ShardBinding:
@@ -345,33 +397,63 @@ class ReaderSession:
     def lookup(self, key: str, t_end: float):
         """One atomic lookup of ``key`` as a simulation generator.
 
-        Routes to the primary replica; with fallback enabled, gives the
-        primary ``fallback_after_ns`` of retries, then walks the backup
+        Routes to the current primary (the promoted backup after a
+        crash); with fallback enabled, gives the primary
+        ``fallback_after_ns`` of retries, then walks the serving backup
         replicas (each getting the same grace period, the last one the
         full remaining time).  Returns ``True`` on a consumed read,
         ``False`` when ``t_end`` arrived first.
+
+        Accounting contract (pinned by the fallback regression tests):
+        ``reads_routed``/``fallback_attempts`` count attempts *issued*
+        per shard; ``fallback_reads`` counts only the fallback attempt
+        that actually *consumed* a read; latency samples and the
+        torn-read audit land exactly once, on the consuming shard —
+        a deadline expiring mid-attempt leaves retries behind but never
+        a phantom fallback read or a double-counted audit.
+
+        With a failover manager attached (finite ``reroute_check_ns``),
+        every attempt's deadline is additionally bounded so a crash
+        mid-attempt re-routes to the promoted view instead of spinning
+        against a dead shard until ``t_end``.
         """
         kv = self.kv
         sim = kv.cluster.sim
         idx = kv.key_index(key)
-        replicas = kv.replicas_of(key)
         fallback_ns = kv.cfg.fallback_after_ns
-        order = replicas if fallback_ns > 0 else replicas[:1]
-        for attempt, shard in enumerate(order):
-            stats = self.stats[shard]
-            stats.reads_routed += 1
-            if attempt > 0:
-                stats.fallback_reads += 1
-            deadline = (
-                t_end
-                if attempt == len(order) - 1
-                else min(t_end, sim.now + fallback_ns)
-            )
-            ok = yield from self.attempt(shard, idx, deadline)
-            if ok:
-                return True
-            if sim.now >= t_end:
-                return False
+        reroute_ns = kv.reroute_check_ns
+        while sim.now < t_end:
+            route = kv.read_route_by_index(idx)
+            if not route:
+                # Total outage for this key: every replica is down.
+                # Wait out a slice of it (bounded by the deadline).
+                yield sim.timeout(min(OUTAGE_POLL_NS, t_end - sim.now))
+                continue
+            order = route if fallback_ns > 0 else route[:1]
+            epoch = kv.epoch
+            for attempt, shard in enumerate(order):
+                stats = self.stats[shard]
+                stats.reads_routed += 1
+                if attempt > 0:
+                    stats.fallback_attempts += 1
+                deadline = (
+                    t_end
+                    if attempt == len(order) - 1
+                    else min(t_end, sim.now + fallback_ns)
+                )
+                deadline = min(deadline, sim.now + reroute_ns)
+                ok = yield from self.attempt(shard, idx, deadline)
+                if ok:
+                    if attempt > 0:
+                        stats.fallback_reads += 1
+                    return True
+                if sim.now >= t_end:
+                    return False
+                if kv.epoch != epoch:
+                    # View changed mid-walk: recompute the route.
+                    break
+            # Walk exhausted before t_end (only possible when reroute
+            # bounding is active): loop re-reads the current view.
         return False
 
 
@@ -423,6 +505,32 @@ class ShardedKV:
         self.write_latency = Samples("sharded_write_ns")
         self.sessions: List[ReaderSession] = []
         self._wcore = [0] * cfg.n_shards
+        self._put_seq = itertools.count()
+
+        # -- failover view (mutated only by objstore.failover) ---------
+        #: Configuration epoch: bumped on every crash/rejoin; stamped
+        #: into write and lock RPCs, checked by every handler (fencing).
+        self.epoch = 0
+        #: Per-shard serving flag.  A crashed shard is not serving; a
+        #: recovering shard stays non-serving until its re-sync ends.
+        self.serving = [True] * cfg.n_shards
+        #: Upper bound on one read attempt's deadline so a crash
+        #: mid-attempt re-routes promptly; ``inf`` (the default, no
+        #: failover manager attached) preserves the plain semantics.
+        self.reroute_check_ns = float("inf")
+        #: Client-side watchdog for write/lock RPCs (None disables);
+        #: the failover manager sets it to model lease timeouts.
+        self.rpc_timeout_ns: Optional[float] = None
+        #: Per-shard lock ownership: object id -> owner token of the
+        #: transaction currently holding it.  Bare odd/even versions
+        #: are ABA-vulnerable across a crash + re-sync (the re-sync
+        #: restores the pre-crash committed version, so the next locker
+        #: republishes the identical odd value); commit/release verify
+        #: the token so a straggler can never act on someone else's
+        #: lock.  Cleared per shard by :meth:`resync_shard`.
+        self.lock_owners: List[Dict[int, int]] = [
+            {} for _ in range(cfg.n_shards)
+        ]
 
         self._shard_rpc = [
             RpcEndpoint(node, workers=cfg.rpc_workers, costs=cfg.costs)
@@ -463,6 +571,89 @@ class ShardedKV:
         return self._placement[self.key_index(key)]
 
     # ------------------------------------------------------------------
+    # failover view: who serves what right now
+    # ------------------------------------------------------------------
+    def current_primary_by_index(self, idx: int) -> Optional[int]:
+        """The first *serving* replica of object ``idx`` (writes and
+        try-locks go here), or ``None`` during a total outage."""
+        for shard in self._placement[idx]:
+            if self.serving[shard]:
+                return shard
+        return None
+
+    def current_primary(self, key: str) -> Optional[int]:
+        return self.current_primary_by_index(self.key_index(key))
+
+    def read_route_by_index(self, idx: int) -> Tuple[int, ...]:
+        """The serving replicas of object ``idx`` in promotion order."""
+        return tuple(s for s in self._placement[idx] if self.serving[s])
+
+    def read_route(self, key: str) -> Tuple[int, ...]:
+        return self.read_route_by_index(self.key_index(key))
+
+    def mark_down(self, shard: int) -> int:
+        """Take ``shard`` out of the view: stop routing to it, promote
+        the next serving replica for every key it was primary of (the
+        promotion is *permanent* — a recovered shard rejoins as a
+        backup), and bump the epoch so stale requests are fenced.
+        Returns how many keys changed primaries."""
+        self.serving[shard] = False
+        promoted = 0
+        for idx, place in enumerate(self._placement):
+            if shard in place:
+                if place[0] == shard:
+                    promoted += 1
+                self._placement[idx] = tuple(
+                    s for s in place if s != shard
+                ) + (shard,)
+        self.epoch += 1
+        return promoted
+
+    def mark_serving(self, shard: int) -> None:
+        """Readmit a re-synced shard (as a backup: :meth:`mark_down`
+        already demoted it) and bump the epoch for the view change."""
+        self.serving[shard] = True
+        self.epoch += 1
+
+    def resync_shard(self, shard: int) -> int:
+        """Copy the current committed image of every object hosted on
+        ``shard`` from that object's current primary (functional: the
+        *time* of a re-sync is charged by the failover manager before
+        this runs).  A copy caught mid-update on the primary is rounded
+        down to its last committed version — by the repo-wide ground
+        truth convention a committed image is fully determined by its
+        version, so the synthesized bytes are exact.  Returns the
+        number of objects re-synced."""
+        store = self.stores[shard]
+        # Locks (and therefore their owners) did not survive the crash.
+        self.lock_owners[shard].clear()
+        copied = 0
+        for idx, place in enumerate(self._placement):
+            if shard not in place:
+                continue
+            src = self.current_primary_by_index(idx)
+            if src is None or src == shard:
+                # No peer to copy from (every other replica is down
+                # too): self-heal from the local copy instead.  This
+                # still clears any lock stranded by a handler that died
+                # mid-update — rejoining with an odd version would
+                # wedge the object forever.
+                src = shard
+            version = self.stores[src].current_version(idx)
+            committed = version - 1 if is_locked(version) else version
+            image = self.layout.pack(
+                committed, stamped_payload(committed, self.cfg.payload_len)
+            )
+            store.phys.write(store.handle(idx).base_addr, image)
+            copied += 1
+        return copied
+
+    def all_endpoints(self) -> List[RpcEndpoint]:
+        """Every RPC endpoint in the deployment, shards then clients
+        (deterministic order — the failover crash path iterates it)."""
+        return [*self._shard_rpc, *self._client_rpc]
+
+    # ------------------------------------------------------------------
     # endpoints and cores
     # ------------------------------------------------------------------
     def shard_rpc(self, shard: int) -> RpcEndpoint:
@@ -494,27 +685,74 @@ class ShardedKV:
     # write path: RPC to the primary, timed local update, async
     # replication to the backups (§2.1's write shipping, scaled out)
     # ------------------------------------------------------------------
-    def put(self, client_index: int, key: str):
+    def put(self, client_index: int, key: str, t_end: float = float("inf")):
         """Issue a write from a client node; returns an event that
-        triggers with the primary's ack.
+        triggers with the serving primary's ack — or with ``None`` if
+        ``t_end`` arrives while *no* replica of the key is serving (a
+        permanent total outage would otherwise spin the outage poll,
+        and the simulation, forever).
 
-        The primary may reply "busy" when the object's lock stayed held
-        past ``PUT_SPIN_LIMIT`` re-checks (e.g. a transaction commit in
-        flight); the client process re-issues the RPC until the update
-        lands, so callers still observe exactly one acked write."""
+        The put survives three failure modes, all invisible to the
+        caller beyond latency; callers still observe exactly one acked
+        write:
+
+        * **busy** — the object's lock stayed held past
+          ``PUT_SPIN_LIMIT`` re-checks (e.g. a transaction commit in
+          flight).  The client backs off with deterministic jittered
+          exponential delay before re-issuing, so txn-heavy mixes
+          cannot starve plain puts by keeping the worker pool saturated
+          with instant retries.  ``write_retries`` is charged to the
+          shard that bounced, pairing with its ``busy_rejects`` even
+          when the re-issue lands elsewhere after a promotion.
+        * **crashed** — the RPC failed with a typed
+          :class:`~repro.common.errors.ShardCrashedError`; the client
+          redirects to the promoted backup.
+        * **fenced** — the receiver refused a stale epoch or ownership;
+          the client refreshes its view and re-issues.
+        """
         idx = self.key_index(key)
-        primary = self._placement[idx][0]
-        self.write_stats[primary].writes_routed += 1
-        payload = idx.to_bytes(8, "little") + bytes(self.cfg.payload_len)
+        sim = self.cluster.sim
+        put_seq = next(self._put_seq)
+        body = idx.to_bytes(8, "little") + bytes(self.cfg.payload_len)
 
         def retrying_put():
+            bounces = 0
+            backoff_rng = None  # built on the first bounce only
             while True:
+                primary = self.current_primary_by_index(idx)
+                if primary is None:
+                    # Total outage: every replica is down.  Poll the
+                    # view until a shard rejoins or the deadline hits.
+                    if sim.now >= t_end:
+                        return None
+                    yield sim.timeout(min(OUTAGE_POLL_NS, t_end - sim.now))
+                    continue
+                ws = self.write_stats[primary]
+                ws.writes_routed += 1
                 reply = yield self._client_rpc[client_index].call(
-                    self.shards[primary].node_id, "shard_put", payload
+                    self.shards[primary].node_id,
+                    "shard_put",
+                    self.epoch.to_bytes(8, "little") + body,
+                    timeout_ns=self.rpc_timeout_ns,
                 )
-                if reply == b"\x01":
+                if isinstance(reply, ShardCrashedError):
+                    ws.crash_redirects += 1
+                    continue
+                if reply == REPLY_OK:
                     return reply
-                self.write_stats[primary].write_retries += 1
+                if reply == REPLY_FENCED:
+                    continue  # the handler counted it; view re-read above
+                ws.write_retries += 1
+                bounces += 1
+                if backoff_rng is None:
+                    backoff_rng = make_rng(self.cfg.seed, "put-backoff", put_seq)
+                # Exponent clamped: past the cap more doubling only
+                # risks float overflow on pathologically long waits.
+                backoff = min(
+                    PUT_BACKOFF_CAP_NS,
+                    PUT_BACKOFF_BASE_NS * (2.0 ** min(bounces - 1, 16)),
+                )
+                yield sim.timeout(backoff * backoff_rng.uniform(0.5, 1.5))
 
         return self.cluster.sim.process(retrying_put())
 
@@ -531,13 +769,49 @@ class ShardedKV:
         system block by block (lock, data, commit), so coherence
         invalidations reach any in-flight SABRe exactly as a local
         writer's would — the property the safety tests pin down.
+
+        Every update RPC carries the issuer's epoch (first 8 bytes) and
+        is fenced: a primary put is refused unless the epoch is current
+        *and* this shard is the object's serving primary, so a demoted
+        or not-yet-re-synced shard can never commit writes the promoted
+        view does not know about.  Replica updates check the epoch only
+        (ownership of a backup copy is implied by the sender being the
+        primary of that epoch).
         """
         sim = self.cluster.sim
         cfg = self.cfg
         node = self.shards[shard]
         store = self.stores[shard]
         ws = self.write_stats[shard]
-        obj_id = int.from_bytes(payload[:8], "little")
+        epoch = int.from_bytes(payload[:8], "little")
+        obj_id = int.from_bytes(payload[8:16], "little")
+
+        # Both paths are fenced while the shard is not serving: a
+        # re-syncing shard must not interleave handler block writes
+        # with the re-sync's image copy (the one writer that bypasses
+        # the odd/even protocol), or it could leave a mixed-version
+        # image at rest and serve it after a later promotion.  Nothing
+        # is lost: an update fenced here was already applied on the
+        # primary, so the re-sync copy carries it.
+        #
+        # Only the *primary* path additionally checks the epoch and
+        # ownership.  Replica updates deliberately skip the epoch
+        # check: demotion only ever happens through a crash (and a
+        # crashed node cannot send), so an epoch-stale replica update
+        # is always a legitimate in-flight replication that raced an
+        # unrelated view change — fencing it would silently strand the
+        # backup behind an acked write.
+        if replicate:
+            stale = (
+                epoch != self.epoch
+                or not self.serving[shard]
+                or self.current_primary_by_index(obj_id) != shard
+            )
+        else:
+            stale = not self.serving[shard]
+        if stale:
+            ws.fenced_rejects += 1
+            return REPLY_FENCED, cfg.costs.writer_block_ns
 
         spins = 0
         while is_locked(store.current_version(obj_id)):
@@ -547,7 +821,7 @@ class ShardedKV:
                 # re-issues).  Replica updates never bounce — backups
                 # are only locked by other bounded replica updates.
                 ws.busy_rejects += 1
-                return b"\x00", 0.0
+                return REPLY_BUSY, 0.0
             spins += 1
             ws.lock_spins += 1
             yield sim.timeout(LOCK_SPIN_NS)
@@ -575,13 +849,19 @@ class ShardedKV:
             for backup in self._placement[obj_id][1:]:
                 # Asynchronous primary/backup replication: the ack does
                 # not wait for the backups (and the RPC worker pools
-                # therefore cannot deadlock on each other).
+                # therefore cannot deadlock on each other).  The epoch
+                # is restamped: the view may have changed while this
+                # handler held the chip.  A dead backup fails the call
+                # fast; nobody waits on the completion.
                 self._shard_rpc[shard].call(
-                    self.shards[backup].node_id, "shard_replicate", payload
+                    self.shards[backup].node_id,
+                    "shard_replicate",
+                    self.epoch.to_bytes(8, "little") + payload[8:],
+                    timeout_ns=self.rpc_timeout_ns,
                 )
         else:
             ws.replica_updates += 1
-        return b"\x01", 0.0
+        return REPLY_OK, 0.0
 
     # ------------------------------------------------------------------
     # stats
@@ -609,6 +889,7 @@ class ShardedKV:
                     "shard": shard,
                     "objects": len(self.stores[shard]),
                     "reads_routed": stats.reads_routed,
+                    "fallback_attempts": stats.fallback_attempts,
                     "fallback_reads": stats.fallback_reads,
                     "retries": stats.retries,
                     "sabre_aborts": stats.sabre_aborts,
@@ -620,6 +901,9 @@ class ShardedKV:
                     "lock_spins": ws.lock_spins,
                     "busy_rejects": ws.busy_rejects,
                     "write_retries": ws.write_retries,
+                    "fenced_rejects": ws.fenced_rejects,
+                    "crash_redirects": ws.crash_redirects,
+                    "serving": int(self.serving[shard]),
                 }
             )
         return rows

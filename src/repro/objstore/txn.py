@@ -50,10 +50,11 @@ audit stays byte-exact across protocols, shards, and replicas.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, ShardCrashedError
 from repro.objstore.layout import (
     commit_version,
     is_locked,
@@ -61,11 +62,21 @@ from repro.objstore.layout import (
     stamped_payload,
     torn_words,
 )
-from repro.objstore.sharded import ReaderSession, ShardedKV
+from repro.objstore.sharded import (
+    OUTAGE_POLL_NS,
+    REPLY_BUSY,
+    REPLY_FENCED,
+    REPLY_OK,
+    ReaderSession,
+    ShardedKV,
+)
 
-#: Reply tags for the commit-protocol RPCs.
-_OK = b"\x01"
-_FAIL = b"\x00"
+#: Reply tags for the commit-protocol RPCs — the same wire tags the put
+#: path uses (:mod:`repro.objstore.sharded`), aliased to this layer's
+#: vocabulary (a failed try-lock is "busy": the client retries).
+_OK = REPLY_OK
+_FAIL = REPLY_BUSY
+_FENCED = REPLY_FENCED
 
 
 def _encode_u64s(values: Sequence[int]) -> bytes:
@@ -98,6 +109,22 @@ class TxnStats:
     validate_rpcs: int = 0
     commit_rpcs: int = 0
     release_rpcs: int = 0
+    #: Attempts force-aborted because a shard crashed (typed RPC
+    #: failure) or fenced the attempt after a view change — the
+    #: distinct abort reason failover injects, separate from the
+    #: optimistic-concurrency aborts above.
+    crash_aborts: int = 0
+    #: Try-locks this shard refused for a stale epoch or ownership.
+    fenced_locks: int = 0
+    #: Commit-phase write-set objects whose apply was skipped *or*
+    #: never confirmed, counted per object: the handler counts objects
+    #: it skipped because their lock died in a crash + re-sync, and
+    #: the client counts every object of a commit RPC that failed with
+    #: a typed error or fence — for those the apply may actually have
+    #: landed before the crash ate the reply, so this is an upper
+    #: bound on unapplied objects, not an exact count (FaRM resolves
+    #: the ambiguity from its log — this reproduction only counts it).
+    partial_commits: int = 0
     #: Read-set payloads the ground-truth audit found torn.  Detecting
     #: protocols never consume one; ``remote_read`` does under
     #: conflicting writers — the fuzz suite pins both directions.
@@ -112,6 +139,9 @@ class TxnStats:
         self.validate_rpcs += other.validate_rpcs
         self.commit_rpcs += other.commit_rpcs
         self.release_rpcs += other.release_rpcs
+        self.crash_aborts += other.crash_aborts
+        self.fenced_locks += other.fenced_locks
+        self.partial_commits += other.partial_commits
         self.torn_reads_observed += other.torn_reads_observed
 
     def as_dict(self) -> Dict[str, int]:
@@ -124,6 +154,9 @@ class TxnStats:
             "validate_rpcs": self.validate_rpcs,
             "commit_rpcs": self.commit_rpcs,
             "release_rpcs": self.release_rpcs,
+            "crash_aborts": self.crash_aborts,
+            "fenced_locks": self.fenced_locks,
+            "partial_commits": self.partial_commits,
             "torn_reads_observed": self.torn_reads_observed,
         }
 
@@ -155,12 +188,14 @@ class TxnOutcome:
     attempts: int = 0
     lock_aborts: int = 0
     validation_aborts: int = 0
+    #: Attempts force-aborted by a crashed or fenced shard.
+    crash_aborts: int = 0
     timed_out: bool = False
     reads: Dict[str, TxnRead] = field(default_factory=dict)
 
     @property
     def aborts(self) -> int:
-        return self.lock_aborts + self.validation_aborts
+        return self.lock_aborts + self.validation_aborts + self.crash_aborts
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +218,9 @@ class TxnManager:
         self.kv = kv
         self.stats = [TxnStats() for _ in range(kv.cfg.n_shards)]
         self.sessions: List["TxnSession"] = []
+        #: Owner tokens, one per commit attempt (deterministic), so
+        #: handlers can tell this attempt's locks from anyone else's.
+        self._tokens = itertools.count(1)
         for shard in range(kv.cfg.n_shards):
             endpoint = kv.shard_rpc(shard)
             endpoint.register("txn_lock", self._make_lock_handler(shard))
@@ -220,12 +258,35 @@ class TxnManager:
         def handler(payload: bytes):
             """Try-lock each object; all checks *and* lock stores land
             before the first yield, so the acquisition is atomic with
-            respect to every other handler and reader process."""
+            respect to every other handler and reader process.
+
+            The try-lock is *fenced*: the first 8 payload bytes carry
+            the client's epoch, and the lock is refused outright when
+            that epoch is stale, this shard is not serving (crashed or
+            still re-syncing), or it is no longer the current primary
+            of every named object — a transaction can never pin objects
+            on a shard the promoted view has moved on from.
+
+            The next 8 bytes carry the attempt's *owner token*,
+            recorded per object so commit/release act only on locks
+            this very attempt acquired (bare version values are
+            ABA-vulnerable across a crash + re-sync)."""
             sim = kv.cluster.sim
             costs = kv.cfg.costs
             store = kv.stores[shard]
             node = kv.shards[shard]
-            ids = _decode_u64s(payload)
+            epoch = int.from_bytes(payload[:8], "little")
+            token = int.from_bytes(payload[8:16], "little")
+            ids = _decode_u64s(payload[16:])
+            if (
+                epoch != kv.epoch
+                or not kv.serving[shard]
+                or any(
+                    kv.current_primary_by_index(obj) != shard for obj in ids
+                )
+            ):
+                self.stats[shard].fenced_locks += 1
+                return _FENCED, costs.writer_block_ns
             pre: List[int] = []
             for obj in ids:
                 version = store.current_version(obj)
@@ -238,6 +299,7 @@ class TxnManager:
             core = kv.next_writer_core(shard)
             latency = 0.0
             for obj, version in zip(ids, pre):
+                kv.lock_owners[shard][obj] = token
                 block_ns = node.chip.write_block(
                     core,
                     store.version_addr(obj),
@@ -257,9 +319,15 @@ class TxnManager:
 
         def handler(payload: bytes):
             """Read-set validation: the primary must still hold exactly
-            the committed version the read observed."""
-            words = _decode_u64s(payload)
+            the committed version the read observed.  Fenced like the
+            try-lock (stale epoch / not serving), so validation cannot
+            vouch for reads against a superseded view."""
+            epoch = int.from_bytes(payload[:8], "little")
+            words = _decode_u64s(payload[8:])
             store = kv.stores[shard]
+            if epoch != kv.epoch or not kv.serving[shard]:
+                self.stats[shard].fenced_locks += 1
+                return _FENCED, kv.cfg.costs.writer_block_ns
             ok = True
             for i in range(0, len(words), 2):
                 obj, expected = words[i], words[i + 1]
@@ -279,32 +347,66 @@ class TxnManager:
             """Apply phase: each locked object gets its new committed
             image written block-by-block through the timed chip (so
             in-flight SABRes snoop the stores), then replicates to its
-            backups asynchronously — the same tail as a plain put."""
+            backups asynchronously — the same tail as a plain put.
+
+            Deliberately *not* epoch-fenced (nor is ``txn_release``):
+            these two only ever touch objects this transaction already
+            holds locked, and fencing gates lock *acquisition* — a
+            holder must always be able to finish or clean up, or a view
+            change between lock and commit would strand odd versions on
+            live shards forever.  Two crash guards apply instead: a
+            non-serving shard (crashed and possibly re-syncing since
+            the lock phase) refuses outright, and an object no longer
+            owned by this attempt's token (the lock died in a crash +
+            re-sync, and possibly someone else locked it since) is
+            skipped — its committed image is already the re-synced
+            one, and another holder's lock must not be touched."""
             sim = kv.cluster.sim
             cfg = kv.cfg
             store = kv.stores[shard]
             node = kv.shards[shard]
             ws = kv.write_stats[shard]
-            ids = _decode_u64s(payload)
+            owners = kv.lock_owners[shard]
+            token = int.from_bytes(payload[:8], "little")
+            ids = _decode_u64s(payload[8:])
+            if not kv.serving[shard]:
+                # The client counts this fenced reply as a partial
+                # commit; counting here too would double-book it.
+                return _FENCED, 0.0
             core = kv.next_writer_core(shard)
             yield sim.timeout(cfg.costs.writer_fixed_ns)
+            applied: List[int] = []
             for obj in ids:
-                committed = commit_version(store.current_version(obj))
+                current = store.current_version(obj)
+                if not is_locked(current) or owners.get(obj) != token:
+                    # The lock died in a crash; re-sync restored the
+                    # pre-transaction committed image.  Not applied —
+                    # and, crucially, not replicated below either, or
+                    # backups would run ahead with a write the primary
+                    # never committed.
+                    self.stats[shard].partial_commits += 1
+                    continue
+                committed = commit_version(current)
                 data = stamped_payload(committed, cfg.payload_len)
                 steps, _version = store.commit_steps(obj, data)
                 for addr, chunk in steps:
                     block_ns = node.chip.write_block(core, addr, chunk)
                     yield sim.timeout(max(block_ns, cfg.costs.writer_block_ns))
                 ws.primary_updates += 1
-            for obj in ids:
-                replica_payload = obj.to_bytes(8, "little") + bytes(
-                    cfg.payload_len
+                del owners[obj]
+                applied.append(obj)
+            for obj in applied:
+                replica_payload = (
+                    kv.epoch.to_bytes(8, "little")
+                    + obj.to_bytes(8, "little")
+                    + bytes(cfg.payload_len)
                 )
                 for backup in kv.replicas_of(kv.key_name(obj))[1:]:
                     kv.shard_rpc(shard).call(
                         kv.shards[backup].node_id,
                         "shard_replicate",
                         replica_payload,
+                        timeout_ns=kv.rpc_timeout_ns,
                     )
             return _OK, 0.0
 
@@ -316,16 +418,34 @@ class TxnManager:
         def handler(payload: bytes):
             """Abort path: restore each pre-lock version.  The data
             blocks were never touched, so the old committed image
-            simply becomes visible again."""
+            simply becomes visible again.
+
+            Each restore only lands if this attempt's owner token
+            still holds the object *and* it carries exactly the
+            version the lock published: if the shard crashed and
+            re-synced in between (clearing the lock — and possibly
+            catching up on the promotee's newer writes, or handing the
+            lock to a new owner at the very same odd version), writing
+            the old version back would regress the object or unlock
+            someone else's critical section, so the stale restore is
+            skipped instead."""
             sim = kv.cluster.sim
             costs = kv.cfg.costs
             store = kv.stores[shard]
             node = kv.shards[shard]
-            words = _decode_u64s(payload)
+            owners = kv.lock_owners[shard]
+            token = int.from_bytes(payload[:8], "little")
+            words = _decode_u64s(payload[8:])
             core = kv.next_writer_core(shard)
             latency = 0.0
             for i in range(0, len(words), 2):
                 obj, restore = words[i], words[i + 1]
+                if (
+                    owners.get(obj) != token
+                    or store.current_version(obj) != lock_version(restore)
+                ):
+                    continue
+                del owners[obj]
                 block_ns = node.chip.write_block(
                     core, store.version_addr(obj), restore.to_bytes(8, "little")
                 )
@@ -361,17 +481,31 @@ class TxnSession:
     # read phase
     # ------------------------------------------------------------------
     def read(self, key: str, t_end: float):
-        """One read-set read of ``key`` from its primary (a simulation
-        generator).  Returns a :class:`TxnRead` on a consumed read or
-        ``None`` when ``t_end`` arrived first.  The observed payload is
-        audited against ground truth into the shard's txn stats."""
+        """One read-set read of ``key`` from its *current* primary (a
+        simulation generator) — the promoted backup after a crash.
+        Returns a :class:`TxnRead` on a consumed read or ``None`` when
+        ``t_end`` arrived first.  The observed payload is audited
+        against ground truth into the shard's txn stats."""
         kv = self.kv
+        sim = kv.cluster.sim
         idx = kv.key_index(key)
-        shard = kv.primary_of(key)
-        self.reader.stats[shard].reads_routed += 1
-        ok = yield from self.reader.attempt(shard, idx, t_end)
-        if not ok:
-            return None
+        while True:
+            shard = kv.current_primary_by_index(idx)
+            if shard is None:
+                # Total outage for this key: poll the view.
+                if sim.now >= t_end:
+                    return None
+                yield sim.timeout(min(OUTAGE_POLL_NS, t_end - sim.now))
+                continue
+            self.reader.stats[shard].reads_routed += 1
+            # Bound the attempt when failover is active so a crash
+            # mid-read re-routes to the promoted view promptly.
+            deadline = min(t_end, sim.now + kv.reroute_check_ns)
+            ok = yield from self.reader.attempt(shard, idx, deadline)
+            if ok:
+                break
+            if sim.now >= t_end:
+                return None
         version, data = self.reader.last_read(shard)
         entry = TxnRead(key=key, shard=shard, version=version, data=data)
         if entry.torn:
@@ -390,10 +524,17 @@ class TxnSession:
         """One read-validate-commit attempt (a simulation generator).
 
         Returns ``(status, reads)`` where status is ``"committed"``,
-        ``"abort_lock"``, ``"abort_validate"``, or ``"timeout"``.
-        Write-set keys are always read first (read-modify-write), so
-        the pre-lock versions returned by ``txn_lock`` validate them;
-        remaining read-only keys go through ``txn_validate``.
+        ``"abort_lock"``, ``"abort_validate"``, ``"abort_crash"``, or
+        ``"timeout"``.  Write-set keys are always read first
+        (read-modify-write), so the pre-lock versions returned by
+        ``txn_lock`` validate them; remaining read-only keys go through
+        ``txn_validate``.
+
+        ``abort_crash`` is the failover-injected reason: a shard
+        crashed under one of the attempt's RPCs (typed error) or fenced
+        it after a view change.  Acquired locks are rolled back on live
+        shards; locks on the crashed shard die with it (its re-sync
+        restores committed images).
         """
         kv = self.kv
         write_set = set(write_keys)
@@ -409,10 +550,16 @@ class TxnSession:
 
             reads[key] = entry
 
-        # -- lock phase: primaries in ascending shard order ------------
+        # -- lock phase: current primaries in ascending shard order ----
+        epoch = kv.epoch
+        token = next(self.manager._tokens)
         by_shard: Dict[int, List[str]] = {}
         for key in sorted(write_set, key=kv.key_index):
-            by_shard.setdefault(kv.primary_of(key), []).append(key)
+            shard = kv.current_primary(key)
+            if shard is None:  # total outage for this key
+                self.manager.stats[kv.primary_of(key)].crash_aborts += 1
+                return "abort_crash", reads
+            by_shard.setdefault(shard, []).append(key)
         locked: List[Tuple[int, List[int], List[int]]] = []
         for shard in sorted(by_shard):
             keys = by_shard[shard]
@@ -420,11 +567,20 @@ class TxnSession:
             stats = self.manager.stats[shard]
             stats.lock_rpcs += 1
             reply = yield self._rpc.call(
-                kv.shards[shard].node_id, "txn_lock", _encode_u64s(ids)
+                kv.shards[shard].node_id,
+                "txn_lock",
+                epoch.to_bytes(8, "little")
+                + token.to_bytes(8, "little")
+                + _encode_u64s(ids),
+                timeout_ns=kv.rpc_timeout_ns,
             )
+            if isinstance(reply, ShardCrashedError) or reply == _FENCED:
+                stats.crash_aborts += 1
+                yield from self._release(locked, token)
+                return "abort_crash", reads
             if not reply.startswith(_OK):
                 stats.lock_conflicts += 1
-                yield from self._release(locked)
+                yield from self._release(locked, token)
                 return "abort_lock", reads
             pre_versions = _decode_u64s(reply[1:])
             locked.append((shard, ids, pre_versions))
@@ -433,13 +589,18 @@ class TxnSession:
             for key, pre in zip(keys, pre_versions):
                 if pre != reads[key].version:
                     stats.validation_aborts += 1
-                    yield from self._release(locked)
+                    yield from self._release(locked, token)
                     return "abort_validate", reads
 
         # -- validate phase: read-only keys ----------------------------
         ro_by_shard: Dict[int, List[str]] = {}
         for key in sorted(set(read_keys) - write_set, key=kv.key_index):
-            ro_by_shard.setdefault(kv.primary_of(key), []).append(key)
+            shard = kv.current_primary(key)
+            if shard is None:
+                self.manager.stats[kv.primary_of(key)].crash_aborts += 1
+                yield from self._release(locked, token)
+                return "abort_crash", reads
+            ro_by_shard.setdefault(shard, []).append(key)
         for shard in sorted(ro_by_shard):
             pairs: List[int] = []
             for key in ro_by_shard[shard]:
@@ -447,32 +608,55 @@ class TxnSession:
             stats = self.manager.stats[shard]
             stats.validate_rpcs += 1
             reply = yield self._rpc.call(
-                kv.shards[shard].node_id, "txn_validate", _encode_u64s(pairs)
+                kv.shards[shard].node_id,
+                "txn_validate",
+                epoch.to_bytes(8, "little") + _encode_u64s(pairs),
+                timeout_ns=kv.rpc_timeout_ns,
             )
+            if isinstance(reply, ShardCrashedError) or reply == _FENCED:
+                stats.crash_aborts += 1
+                yield from self._release(locked, token)
+                return "abort_crash", reads
             if reply != _OK:
                 stats.validation_aborts += 1
-                yield from self._release(locked)
+                yield from self._release(locked, token)
                 return "abort_validate", reads
 
         # -- apply phase ----------------------------------------------
         for shard, ids, _pre in locked:
             self.manager.stats[shard].commit_rpcs += 1
-            yield self._rpc.call(
-                kv.shards[shard].node_id, "txn_commit", _encode_u64s(ids)
+            reply = yield self._rpc.call(
+                kv.shards[shard].node_id,
+                "txn_commit",
+                token.to_bytes(8, "little") + _encode_u64s(ids),
+                timeout_ns=kv.rpc_timeout_ns,
             )
+            if isinstance(reply, ShardCrashedError) or reply == _FENCED:
+                # The shard died (or rejoined non-serving) between lock
+                # and apply: its objects keep the pre-transaction image
+                # on the promoted backup, the rest of the write set
+                # applies.  Counted per skipped object (matching the
+                # handler-side unit), not rolled back (see
+                # TxnStats.partial_commits).
+                self.manager.stats[shard].partial_commits += len(ids)
         for shard in self._touched_shards(reads):
             self.manager.stats[shard].commits += 1
         return "committed", reads
 
-    def _release(self, locked):
-        """Roll back every acquired lock (abort path)."""
+    def _release(self, locked, token: int):
+        """Roll back every acquired lock (abort path).  A crashed
+        shard's typed failure is ignored: its locks die with it and
+        re-sync restores committed (even-version) images."""
         for shard, ids, pre_versions in locked:
             pairs: List[int] = []
             for obj, pre in zip(ids, pre_versions):
                 pairs.extend((obj, pre))
             self.manager.stats[shard].release_rpcs += 1
             yield self._rpc.call(
-                self.kv.shards[shard].node_id, "txn_release", _encode_u64s(pairs)
+                self.kv.shards[shard].node_id,
+                "txn_release",
+                token.to_bytes(8, "little") + _encode_u64s(pairs),
+                timeout_ns=self.kv.rpc_timeout_ns,
             )
 
     @staticmethod
@@ -507,6 +691,8 @@ class TxnSession:
                 outcome.lock_aborts += 1
             elif status == "abort_validate":
                 outcome.validation_aborts += 1
+            elif status == "abort_crash":
+                outcome.crash_aborts += 1
             else:  # timeout
                 outcome.timed_out = True
                 return outcome

@@ -152,33 +152,87 @@ class AllOf(Event):
             self.succeed(self._values)
 
 
+#: A scheduled callback: ``[when, seq, fn]``.  ``fn`` is set to ``None``
+#: on cancellation; the entry stays in the heap until the run loop (or a
+#: compaction) reaps it.
+ScheduledCall = list
+
+#: Compaction policy: rebuild the heap once at least this many entries
+#: are cancelled *and* they make up at least half the heap.  The floor
+#: keeps tiny sims from compacting constantly; the ratio bounds heap
+#: size at ~2x the live entries, so long soaks that schedule-and-cancel
+#: (RPC watchdogs, lease timers) cannot grow the heap without bound.
+_COMPACT_MIN_CANCELLED = 64
+
+
 class Simulator:
     """The event loop.  Time is in nanoseconds."""
 
-    __slots__ = ("_now", "_heap", "_seq", "_running")
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_cancelled", "compactions")
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[ScheduledCall] = []
         self._seq = 0
         self._running = False
+        self._cancelled = 0
+        self.compactions = 0
 
     @property
     def now(self) -> float:
         return self._now
 
     # -- scheduling -----------------------------------------------------
-    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
-        """Run ``fn()`` at ``now + delay``; FIFO among equal times."""
+    def call_later(self, delay: float, fn: Callable[[], None]) -> ScheduledCall:
+        """Run ``fn()`` at ``now + delay``; FIFO among equal times.
+
+        Returns the scheduled-call handle; pass it to
+        :meth:`cancel_call` to cancel before it fires."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn))
+        entry: ScheduledCall = [self._now + delay, self._seq, fn]
+        heapq.heappush(self._heap, entry)
+        return entry
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+    def call_at(self, when: float, fn: Callable[[], None]) -> ScheduledCall:
         if when < self._now:
             raise SimulationError(f"cannot schedule in the past: {when}")
-        self.call_later(when - self._now, fn)
+        return self.call_later(when - self._now, fn)
+
+    def cancel_call(self, handle: ScheduledCall) -> None:
+        """Cancel a scheduled callback (no-op if it already ran or was
+        already cancelled).  Cancelled entries are reaped lazily; once
+        enough accumulate the heap is compacted in place, so heap size
+        stays proportional to *live* entries even in soaks that cancel
+        most of what they schedule."""
+        if handle[2] is None:
+            return
+        handle[2] = None
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place (the run
+        loop holds a reference to the heap list)."""
+        self._heap[:] = [e for e in self._heap if e[2] is not None]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
+
+    @property
+    def heap_size(self) -> int:
+        """Total heap entries, including not-yet-reaped cancellations."""
+        return len(self._heap)
+
+    @property
+    def live_calls(self) -> int:
+        """Scheduled callbacks that will actually run."""
+        return len(self._heap) - self._cancelled
 
     # -- event / process factories ---------------------------------------
     def event(self) -> Event:
@@ -205,11 +259,19 @@ class Simulator:
         try:
             heap = self._heap
             while heap:
-                when, _seq, fn = heap[0]
+                entry = heap[0]
+                when, _seq, fn = entry
+                if fn is None:  # cancelled: reap and keep going
+                    heapq.heappop(heap)
+                    self._cancelled -= 1
+                    continue
                 if when > until:
                     self._now = until
                     break
                 heapq.heappop(heap)
+                # Mark consumed so a late cancel_call on this handle is
+                # a clean no-op instead of skewing the cancelled count.
+                entry[2] = None
                 self._now = when
                 fn()
             else:
@@ -220,5 +282,9 @@ class Simulator:
         return self._now
 
     def peek(self) -> float:
-        """Time of the next scheduled callback (inf if none)."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next *live* scheduled callback (inf if none)."""
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return heap[0][0] if heap else float("inf")

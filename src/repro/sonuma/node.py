@@ -39,7 +39,13 @@ from repro.sonuma.transfer import (
     SourceTransfer,
     TransferResult,
     TransferTimings,
+    prune_straggler_book,
 )
+
+#: How long the source RMC takes to fail a WQ entry whose destination's
+#: lease already expired (a local table lookup plus the CQ round trip —
+#: no packet ever leaves the node).
+CRASH_NOTICE_NS = 40.0
 
 
 class SoNode:
@@ -92,9 +98,21 @@ class SoNode:
         self._rmc_cycle = cycle
         self._transfers: Dict[int, SourceTransfer] = {}
         self._completions: Dict[int, Event] = {}
+        #: Transfer id -> abort time, for transfers failed by
+        #: :meth:`fail_transfers_to`; replies for them that were
+        #: already on the wire at crash time are dropped silently
+        #: instead of tripping the unknown-reply invariant.  Pruned by
+        #: :func:`prune_straggler_book` so long crash soaks cannot
+        #: grow it without bound.
+        self._aborted: Dict[int, float] = {}
         self._tid = itertools.count(node_id << 32)
         self._rpc_handler = None
         fabric.attach(node_id, self._handle_packet)
+
+    @property
+    def alive(self) -> bool:
+        """This node's membership as the fabric sees it (lease view)."""
+        return self.fabric.alive(self.node_id)
 
     # ------------------------------------------------------------------
     # memory helpers
@@ -148,6 +166,8 @@ class SoNode:
         self._transfers[tid] = transfer
         completion = self.sim.event()
         self._completions[tid] = completion
+        if not self.fabric.alive(dst_node):
+            return self._fail_transfer(transfer)
         pickup = rmc.wq_post_ns + rmc.wq_pickup_ns
 
         def unroll() -> None:
@@ -194,9 +214,54 @@ class SoNode:
         self._transfers[tid] = transfer
         completion = self.sim.event()
         self._completions[tid] = completion
+        if not self.fabric.alive(dst_node):
+            return self._fail_transfer(transfer)
         pickup_delay = rmc.wq_post_ns + rmc.wq_pickup_ns
         self.sim.call_later(pickup_delay, lambda: self._unroll(transfer))
         return completion
+
+    # ------------------------------------------------------------------
+    # failover: transfer failure paths
+    # ------------------------------------------------------------------
+    def _fail_transfer(self, transfer: SourceTransfer) -> Event:
+        """Complete ``transfer`` as crash-failed: ``success=False`` and
+        ``crashed=True`` in the CQ entry, delivered after the local
+        lease-table lookup.  Used both for posts targeting an already
+        dead node and for in-flight transfers aborted at crash time."""
+        transfer.completed = True
+        completion = self._completions.pop(transfer.transfer_id)
+        del self._transfers[transfer.transfer_id]
+
+        def deliver() -> None:
+            transfer.timings.completed = self.sim.now
+            completion.succeed(
+                TransferResult(
+                    transfer_id=transfer.transfer_id,
+                    op=transfer.op,
+                    success=False,
+                    size_bytes=transfer.size_bytes,
+                    local_addr=transfer.local_addr,
+                    timings=transfer.timings,
+                    crashed=True,
+                )
+            )
+
+        self.sim.call_later(CRASH_NOTICE_NS, deliver)
+        return completion
+
+    def fail_transfers_to(self, dst_node: int) -> int:
+        """Abort every in-flight transfer targeting ``dst_node`` (its
+        lease expired).  Replies already on the wire for these transfers
+        are dropped on arrival.  Returns how many were aborted."""
+        now = self.sim.now
+        self._aborted = prune_straggler_book(self._aborted, now)
+        failed = 0
+        for tid, transfer in list(self._transfers.items()):
+            if transfer.dst_node == dst_node and not transfer.completed:
+                self._aborted[tid] = now
+                self._fail_transfer(transfer)
+                failed += 1
+        return failed
 
     # ------------------------------------------------------------------
     # RGP: source unrolling (§5)
@@ -278,6 +343,10 @@ class SoNode:
         self.fabric.send(pkt)
 
     def _handle_packet(self, pkt: Packet) -> None:
+        if not self.alive:
+            # Dead NI: packets that were already in flight when the
+            # node crashed arrive at nothing and vanish.
+            return
         if pkt.kind in (
             PacketKind.READ_REQUEST,
             PacketKind.SABRE_REGISTRATION,
@@ -310,6 +379,10 @@ class SoNode:
     def _on_reply(self, pkt: Packet) -> None:
         transfer = self._transfers.get(pkt.transfer_id)
         if transfer is None or transfer.completed:
+            if pkt.transfer_id in self._aborted:
+                # A reply that was on the wire when its transfer was
+                # crash-aborted: drop it (the CQ entry already failed).
+                return
             raise ProtocolError(
                 f"reply for unknown/completed transfer {pkt.transfer_id}"
             )
@@ -318,6 +391,10 @@ class SoNode:
         self.sim.call_at(t, lambda: self._process_reply(transfer, pkt))
 
     def _process_reply(self, transfer: SourceTransfer, pkt: Packet) -> None:
+        if transfer.completed:
+            # Crash-aborted while this reply sat in the RCP pipeline:
+            # the CQ entry already failed, drop the reply.
+            return
         if pkt.kind is PacketKind.SABRE_VALIDATION:
             transfer.validation = pkt.meta["success"]
             transfer.remote_version = pkt.meta.get("version")

@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import inspect
 import itertools
-from typing import Any, Callable, Dict, Generator, Tuple, Union
+from typing import Any, Callable, Dict, Generator, Optional, Tuple, Union
 
 from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
-from repro.common.errors import ProtocolError
+from repro.common.errors import ProtocolError, ShardCrashedError
 from repro.fabric.packets import Packet, PacketKind
 from repro.sim.engine import Event
 from repro.sim.resources import FifoResource
+from repro.sonuma.transfer import prune_straggler_book
 
 #: What serving one request yields: (reply payload, extra service ns).
 RpcReply = Tuple[bytes, float]
@@ -40,21 +41,65 @@ class RpcEndpoint:
         self.sim = node.sim
         self.costs = costs
         self._handlers: Dict[str, RpcHandler] = {}
-        self._pending: Dict[int, Event] = {}
+        #: rpc id -> (completion, dst node, watchdog handle or None).
+        self._pending: Dict[int, Tuple[Event, int, Any]] = {}
+        #: rpc id -> failure time, for calls failed by a crash or a
+        #: watchdog: a reply that was already on the wire for one is
+        #: dropped, not a protocol error.  Pruned by
+        #: :func:`prune_straggler_book` so crash soaks cannot grow
+        #: this without bound.
+        self._failed: Dict[int, float] = {}
         self._workers = FifoResource(self.sim, capacity=workers)
         self._rpc_id = itertools.count(node.node_id << 48)
         self.served = 0
+        self.failed_calls = 0
+        self.timed_out_calls = 0
         node.attach_rpc(self._on_packet)
 
     def register(self, name: str, handler: RpcHandler) -> None:
         self._handlers[name] = handler
 
     # ------------------------------------------------------------------
-    def call(self, dst_node: int, name: str, payload: bytes) -> Event:
-        """Issue an RPC; the returned event triggers with the reply bytes."""
+    def call(
+        self,
+        dst_node: int,
+        name: str,
+        payload: bytes,
+        timeout_ns: Optional[float] = None,
+    ) -> Event:
+        """Issue an RPC; the returned event triggers with the reply
+        bytes — or, on failure, with a :class:`ShardCrashedError`
+        *value* the caller must check for.
+
+        Failure happens three ways: the destination's lease already
+        expired when the call was issued (fail fast, nothing is sent);
+        the failover subsystem fails the call at crash time
+        (:meth:`fail_pending_to`); or ``timeout_ns`` elapsed with no
+        reply (a client-side watchdog, cancelled when the reply lands —
+        the belt to the crash notification's braces)."""
         rpc_id = next(self._rpc_id)
         completion = self.sim.event()
-        self._pending[rpc_id] = completion
+        if not self.node.fabric.alive(dst_node) or not self.node.alive:
+            # Destination's lease expired — or *this* node's did: a
+            # zombie handler on a crashed node cannot send, and
+            # registering the call would leak it forever (the fabric
+            # drops dead-source packets, so no reply can ever arrive).
+            self.failed_calls += 1
+            self.sim.call_later(
+                self.costs.rpc_dispatch_ns,
+                lambda: completion.succeed(
+                    ShardCrashedError(dst_node, f"rpc {name!r} not sent")
+                ),
+            )
+            return completion
+        marshal = self.costs.rpc_marshal_ns_per_byte * len(payload)
+        watchdog = None
+        if timeout_ns is not None:
+            watchdog = self.sim.call_later(
+                marshal + timeout_ns,
+                lambda: self._expire(rpc_id, dst_node, timeout_ns),
+            )
+        self._pending[rpc_id] = (completion, dst_node, watchdog)
         pkt = Packet(
             PacketKind.RPC_SEND,
             self.node.node_id,
@@ -64,18 +109,84 @@ class RpcEndpoint:
             payload=payload,
             meta={"name": name},
         )
-        marshal = self.costs.rpc_marshal_ns_per_byte * len(payload)
         self.sim.call_later(marshal, lambda: self.node.fabric.send(pkt))
         return completion
+
+    # ------------------------------------------------------------------
+    # failure paths (failover subsystem)
+    # ------------------------------------------------------------------
+    def _fail(self, rpc_id: int, error: ShardCrashedError) -> bool:
+        entry = self._pending.pop(rpc_id, None)
+        if entry is None:
+            return False
+        completion, _dst, watchdog = entry
+        if watchdog is not None:
+            self.sim.cancel_call(watchdog)
+        now = self.sim.now
+        self._failed = prune_straggler_book(self._failed, now)
+        self._failed[rpc_id] = now
+        self.failed_calls += 1
+        completion.succeed(error)
+        return True
+
+    def _expire(self, rpc_id: int, dst_node: int, timeout_ns: float) -> None:
+        entry = self._pending.get(rpc_id)
+        if entry is None:
+            return
+        if self.node.fabric.alive(dst_node):
+            # Slow, not dead: the peer's lease is intact, so the reply
+            # is still coming (and server-side effects like acquired
+            # locks are real — failing now would orphan them).  Re-arm
+            # and keep waiting; a real crash fails the call instantly
+            # via fail_pending_to.
+            completion, dst, _old = entry
+            watchdog = self.sim.call_later(
+                timeout_ns, lambda: self._expire(rpc_id, dst_node, timeout_ns)
+            )
+            self._pending[rpc_id] = (completion, dst, watchdog)
+            return
+        if self._fail(rpc_id, ShardCrashedError(dst_node, "rpc timed out")):
+            self.timed_out_calls += 1
+
+    def fail_pending_to(self, dst_node: int) -> int:
+        """Fail every pending call addressed to ``dst_node`` with a
+        typed :class:`ShardCrashedError`; returns how many failed."""
+        doomed = [
+            rpc_id
+            for rpc_id, (_ev, dst, _wd) in self._pending.items()
+            if dst == dst_node
+        ]
+        for rpc_id in doomed:
+            self._fail(rpc_id, ShardCrashedError(dst_node, "rpc in flight"))
+        return len(doomed)
+
+    def fail_all_pending(self) -> int:
+        """Fail every pending call on this endpoint — used when the
+        *owning node* crashes: replies addressed to its dead NI will be
+        dropped, so no pending call here can ever resolve."""
+        doomed = list(self._pending)
+        for rpc_id in doomed:
+            _ev, dst, _wd = self._pending[rpc_id]
+            self._fail(
+                rpc_id, ShardCrashedError(dst, "caller crashed")
+            )
+        return len(doomed)
 
     # ------------------------------------------------------------------
     def _on_packet(self, pkt: Packet) -> None:
         if pkt.kind is PacketKind.RPC_SEND:
             self.sim.process(self._serve(pkt))
         elif pkt.kind is PacketKind.RPC_REPLY:
-            completion = self._pending.pop(pkt.transfer_id, None)
-            if completion is None:
+            entry = self._pending.pop(pkt.transfer_id, None)
+            if entry is None:
+                if self._failed.pop(pkt.transfer_id, None) is not None:
+                    # The call was already failed (crash or watchdog);
+                    # its straggler reply is dropped.
+                    return
                 raise ProtocolError(f"reply for unknown RPC {pkt.transfer_id}")
+            completion, _dst, watchdog = entry
+            if watchdog is not None:
+                self.sim.cancel_call(watchdog)
             completion.succeed(pkt.payload)
         else:
             raise ProtocolError(f"RPC endpoint cannot handle {pkt.kind}")

@@ -10,7 +10,29 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Dict, Optional
+
+#: How long the id of a crash-failed RPC/transfer is remembered so its
+#: straggler replies can be dropped instead of tripping the
+#: unknown-reply invariants.  Replies only straggle while already-sent
+#: packets and zombie handlers on a crashed-then-recovered node drain —
+#: microseconds, far below this horizon — so pruning behind it keeps
+#: the bookkeeping bounded across arbitrarily long crash soaks.
+STRAGGLER_HORIZON_NS = 1_000_000.0
+
+
+def prune_straggler_book(
+    book: Dict[int, float], now: float, limit: int = 256
+) -> Dict[int, float]:
+    """Shared prune for the ``id -> failure time`` straggler books kept
+    by :class:`~repro.sonuma.node.SoNode` and
+    :class:`~repro.sonuma.rpc.RpcEndpoint`: once past ``limit``
+    entries, drop everything older than :data:`STRAGGLER_HORIZON_NS`.
+    Returns the (possibly new) book."""
+    if len(book) <= limit:
+        return book
+    horizon = now - STRAGGLER_HORIZON_NS
+    return {key: t for key, t in book.items() if t >= horizon}
 
 
 class OpKind(Enum):
@@ -55,6 +77,10 @@ class TransferResult:
     timings: TransferTimings
     remote_version: Optional[int] = None
     cas_old_value: Optional[int] = None
+    #: The destination node crashed while (or before) this transfer was
+    #: in flight; the landing buffer contents are undefined and must not
+    #: be consumed.  Set by the failover subsystem's abort path only.
+    crashed: bool = False
 
 
 @dataclass

@@ -1,6 +1,11 @@
 """Workload generators, the paper's microbenchmarks (§6), and the
 YCSB-style service mixes over the sharded store."""
 
+from repro.workloads.availability import (
+    FailoverMixConfig,
+    FailoverResult,
+    run_failover_mix,
+)
 from repro.workloads.generators import (
     FIG1_SIZES,
     FIG7_SIZES,
@@ -32,6 +37,8 @@ __all__ = [
     "FIG1_SIZES",
     "FIG7_SIZES",
     "FIG8_SIZES",
+    "FailoverMixConfig",
+    "FailoverResult",
     "MicrobenchConfig",
     "MicrobenchResult",
     "TimedWriter",
@@ -42,6 +49,7 @@ __all__ = [
     "YcsbConfig",
     "YcsbResult",
     "ZipfianPicker",
+    "run_failover_mix",
     "run_microbench",
     "run_txn_mix",
     "run_ycsb",

@@ -128,6 +128,15 @@ class ReadProtocol:
         while True:
             yield sim.timeout(self.costs.microbench_loop_ns)
             result = yield self.issue(handle, wire, buf)
+            if result.crashed:
+                # Destination died under the transfer: the landing
+                # buffer is undefined, so skip the completion hook (it
+                # must never consume those bytes) and retry — the
+                # caller re-routes once its deadline slice expires.
+                self.stats.retries += 1
+                if sim.now >= t_end:
+                    return
+                continue
             ok, data = yield from self.complete(result, buf, wire)
             if ok:
                 self.audit(data)
@@ -263,7 +272,14 @@ class DrtmLockProtocol(ReadProtocol):
         version_addr = self.store.version_addr(handle.obj_id)
         while True:
             yield sim.timeout(costs.microbench_loop_ns)
-            yield self.src.remote_read(self.dst.node_id, version_addr, 8, buf)
+            probe = yield self.src.remote_read(
+                self.dst.node_id, version_addr, 8, buf
+            )
+            if probe.crashed:
+                self.stats.retries += 1
+                if sim.now >= t_end:
+                    return
+                continue
             observed = int.from_bytes(self.src.read_local(buf, 8), "little")
             if observed % 2 == 1:
                 # Version word already locked (or mid-update): retry.
@@ -282,8 +298,17 @@ class DrtmLockProtocol(ReadProtocol):
             read = yield self.src.remote_read(
                 self.dst.node_id, handle.base_addr, wire, buf
             )
+            if read.crashed:
+                # The destination died holding our source lock; the
+                # lock dies with it (recovery re-syncs a committed
+                # image), so just retry elsewhere after the deadline.
+                self.stats.retries += 1
+                if sim.now >= t_end:
+                    return
+                continue
             raw = self.src.read_local(buf, wire)
             # Restore the pre-lock version (pure read: no version bump).
+            # A crash here is fine for the same reason as above.
             yield self.src.remote_write(
                 self.dst.node_id, version_addr, observed.to_bytes(8, "little")
             )

@@ -25,6 +25,7 @@ import os
 import pytest
 
 from repro.common.rng import derive_seed, make_rng
+from repro.objstore.failover import FailoverManager, FailurePlan
 from repro.objstore.sharded import ShardedConfig, ShardedKV
 from repro.objstore.txn import TxnManager
 from repro.workloads.protocols import protocol_names
@@ -38,7 +39,7 @@ SHARD_COUNTS = (1, 4)
 class FuzzOutcome:
     """Aggregated counters of one fuzz round."""
 
-    def __init__(self, kv, manager):
+    def __init__(self, kv, manager, injector=None):
         reader_stats = kv.all_reader_stats()
         txn = manager.merged_stats()
         self.undetected_violations = sum(
@@ -54,6 +55,17 @@ class FuzzOutcome:
             + txn.validation_aborts
         )
         self.writes = sum(ws.primary_updates for ws in kv.write_stats)
+        self.crashes = injector.stats.crashes if injector else 0
+        self.recoveries = injector.stats.recoveries if injector else 0
+        self.promotions = injector.stats.promotions if injector else 0
+        self.crash_aborts = txn.crash_aborts
+        #: Work the crashes demonstrably interrupted: forced txn
+        #: aborts, fenced try-locks, failed in-flight RPCs/transfers.
+        self.crash_disruptions = self.crash_aborts + txn.fenced_locks
+        if injector:
+            self.crash_disruptions += (
+                injector.stats.failed_rpcs + injector.stats.failed_transfers
+            )
         self.fingerprint = (
             self.undetected_violations,
             self.torn_reads_observed,
@@ -61,6 +73,9 @@ class FuzzOutcome:
             self.commits,
             self.detected_conflicts,
             self.writes,
+            self.crashes,
+            self.promotions,
+            self.crash_aborts,
             [s.retries for s in reader_stats],
             manager.txn_rows(),
             kv.shard_load(),
@@ -73,9 +88,15 @@ def fuzz_round(
     seed: int,
     duration_ns: float = 30_000.0,
     object_size: int = 512,
+    crash_cycles: int = 0,
 ) -> FuzzOutcome:
     """One randomized interleaving: the schedule (process counts, key
-    choices, pacing, transaction shapes) all derive from ``seed``."""
+    choices, pacing, transaction shapes) all derive from ``seed``.
+
+    With ``crash_cycles > 0`` a failover lane rides along: that many
+    crash/recover cycles round-robin over the shards at seed-derived
+    times, so readers, writers, and mid-flight transaction commits get
+    interleaved with promotions and re-syncs."""
     rng = make_rng(seed, "fuzz-schedule", mechanism, n_shards)
     cfg = ShardedConfig(
         n_shards=n_shards,
@@ -88,6 +109,21 @@ def fuzz_round(
     )
     kv = ShardedKV(cfg)
     manager = TxnManager(kv)
+    injector = None
+    if crash_cycles:
+        assert n_shards >= 2, "crash fuzzing needs a backup to promote"
+        period = duration_ns / (crash_cycles + 1)
+        downtime = period * rng.uniform(0.25, 0.5)
+        injector = FailoverManager(
+            kv,
+            FailurePlan.cycles(
+                range(n_shards),
+                first_crash_ns=period * rng.uniform(0.3, 0.7),
+                downtime_ns=downtime,
+                uptime_ns=period - downtime,
+                count=crash_cycles,
+            ),
+        )
     sim = kv.cluster.sim
     keys = kv.keys()
     t_end = duration_ns
@@ -121,7 +157,7 @@ def fuzz_round(
         sim.process(txn_proc(manager.session(i % cfg.clients), i))
 
     sim.run()
-    return FuzzOutcome(kv, manager)
+    return FuzzOutcome(kv, manager, injector)
 
 
 def test_fuzz_covers_every_registered_protocol():
@@ -173,6 +209,59 @@ def test_different_seeds_explore_different_schedules():
     a = fuzz_round("percl_versions", 1, seed=303)
     b = fuzz_round("percl_versions", 1, seed=304)
     assert a.fingerprint != b.fingerprint
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("mechanism", DETECTING)
+def test_detecting_protocols_survive_mid_txn_crashes(mechanism):
+    """The crash lane: shards crash and recover *while* transactions
+    are mid-commit and readers race writers.  Detecting protocols must
+    consume zero torn reads across promotions and re-syncs, and the
+    crashes must demonstrably have hit live work (forced aborts)."""
+    crashed_work = 0
+    for seed in (401, 402):
+        outcome = fuzz_round(
+            mechanism, 4, seed=seed, duration_ns=45_000.0, crash_cycles=3
+        )
+        assert outcome.crashes == 3, (mechanism, seed)
+        assert outcome.recoveries == 3, (mechanism, seed)
+        assert outcome.promotions > 0, (mechanism, seed)
+        assert outcome.reads_consumed > 0, (mechanism, seed)
+        assert outcome.undetected_violations == 0, (mechanism, seed)
+        assert outcome.torn_reads_observed == 0, (mechanism, seed)
+        crashed_work += outcome.crash_disruptions
+    # Across the seeds, the crashes demonstrably interrupted live work
+    # (forced aborts, fenced locks, or failed in-flight operations) —
+    # the lane is not vacuously passing on an idle service.
+    assert crashed_work > 0, mechanism
+
+
+@pytest.mark.smoke
+def test_crash_fuzz_rounds_are_deterministic():
+    a = fuzz_round("sabre", 4, seed=505, duration_ns=45_000.0, crash_cycles=3)
+    b = fuzz_round("sabre", 4, seed=505, duration_ns=45_000.0, crash_cycles=3)
+    assert a.crashes == 3
+    assert a.fingerprint == b.fingerprint
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mechanism", DETECTING)
+def test_soak_crash_lane(mechanism):
+    """Scheduled-lane soak: many crash-cycle rounds per mechanism."""
+    rounds = int(os.environ.get("SABRES_FUZZ_ROUNDS", "6"))
+    for i in range(rounds):
+        outcome = fuzz_round(
+            mechanism,
+            4,
+            seed=3000 + i,
+            duration_ns=60_000.0,
+            object_size=1024,
+            crash_cycles=4,
+        )
+        assert outcome.crashes == 4, (mechanism, i)
+        assert outcome.undetected_violations == 0, (mechanism, i)
+        assert outcome.torn_reads_observed == 0, (mechanism, i)
+        assert outcome.reads_consumed > 0, (mechanism, i)
 
 
 @pytest.mark.slow

@@ -60,7 +60,38 @@ class TestHashRing:
         with pytest.raises(ConfigError):
             HashRing(range(2), vnodes=0)
         with pytest.raises(ConfigError):
-            HashRing(range(2)).replicas("k", 3)
+            HashRing(range(2)).replicas("k", 0)
+
+    def test_replicas_clamp_to_shard_count(self):
+        """Asking for more replicas than shards yields every shard
+        exactly once (successor lists cannot invent shards)."""
+        ring = HashRing(range(3), vnodes=8, seed=5)
+        for key in ("a", "b", "key-7"):
+            replicas = ring.replicas(key, 10)
+            assert sorted(replicas) == [0, 1, 2]
+            assert replicas[0] == ring.primary(key)
+
+    def test_replicas_property_over_seeds(self):
+        """Property sweep: for every (seed, vnodes, shard count) and
+        every n — below, at, and above the shard count — the successor
+        list has exactly ``min(n, shards)`` *distinct* shards, starts
+        at the primary, and is prefix-consistent (replicas(k, m) is a
+        prefix of replicas(k, n) for m <= n)."""
+        for seed in (1, 2, 9, 41, 1337):
+            for shards in (1, 2, 3, 5, 8):
+                for vnodes in (1, 3, 64):
+                    ring = HashRing(range(shards), vnodes=vnodes, seed=seed)
+                    for i in range(25):
+                        key = f"key-{i}"
+                        full = ring.replicas(key, shards + 3)
+                        assert len(full) == shards
+                        assert len(set(full)) == shards
+                        assert full[0] == ring.primary(key)
+                        for n in range(1, shards + 1):
+                            prefix = ring.replicas(key, n)
+                            assert len(prefix) == n
+                            assert len(set(prefix)) == n
+                            assert prefix == full[:n]
 
 
 class TestConfig:
@@ -361,3 +392,195 @@ class TestSafety:
         assert a.writes_completed == b.writes_completed
         assert a.read_latency.values == b.read_latency.values
         assert a.shard_rows == b.shard_rows
+
+
+class TestFallbackAccounting:
+    """Regression pins for the fallback-read bookkeeping: attempts that
+    expire mid-walk must be visible (``fallback_attempts``, retries)
+    without fabricating fallback successes, and a consumed read books
+    latency, meter, and audit exactly once, on the consuming shard."""
+
+    def _kv3(self, fallback_ns=2_000.0):
+        return ShardedKV(
+            ShardedConfig(
+                n_shards=3,
+                replication=3,
+                mechanism="percl_versions",
+                object_size=256,
+                n_objects=32,
+                seed=7,
+                fallback_after_ns=fallback_ns,
+            )
+        )
+
+    @staticmethod
+    def _wedge(kv, shard, idx):
+        """Odd header version: every software check on this copy fails,
+        as if a writer died mid-update."""
+        store = kv.stores[shard]
+        locked = store.current_version(idx) + 1
+        store.phys.write(store.version_addr(idx), locked.to_bytes(8, "little"))
+
+    def _lookup(self, kv, session, key, t_end=50_000.0):
+        outcome = []
+
+        def reader():
+            ok = yield from session.lookup(key, t_end)
+            outcome.append(ok)
+
+        kv.cluster.sim.process(reader())
+        kv.cluster.sim.run()
+        return outcome[0]
+
+    def test_expired_fallback_attempt_is_not_a_fallback_read(self):
+        """First backup's grace period expires without a consumed read:
+        it books an attempt and retries, never a fallback read — that
+        lands once, on the second backup that actually served."""
+        kv = self._kv3()
+        key = kv.keys()[0]
+        idx = kv.key_index(key)
+        first, second, third = kv.replicas_of(key)
+        self._wedge(kv, first, idx)
+        self._wedge(kv, second, idx)
+
+        session = kv.reader_session(0)
+        assert self._lookup(kv, session, key) is True
+        assert session.stats[second].fallback_attempts == 1
+        assert session.stats[second].fallback_reads == 0
+        assert session.stats[second].retries >= 1
+        assert len(session.stats[second].op_latency) == 0
+        assert session.stats[third].fallback_attempts == 1
+        assert session.stats[third].fallback_reads == 1
+        assert len(session.stats[third].op_latency) == 1
+        # Exactly one consumed read across the whole walk.
+        assert sum(len(s.op_latency) for s in session.stats) == 1
+
+    def test_deadline_expiry_mid_walk_drops_nothing_silently(self):
+        """Every replica wedged: the lookup fails, and the failure is
+        fully accounted — attempts and retries everywhere it tried,
+        zero fallback reads, zero latency samples, zero audits."""
+        kv = self._kv3()
+        key = kv.keys()[0]
+        idx = kv.key_index(key)
+        for shard in kv.replicas_of(key):
+            self._wedge(kv, shard, idx)
+
+        session = kv.reader_session(0)
+        assert self._lookup(kv, session, key, t_end=12_000.0) is False
+        walked = kv.replicas_of(key)
+        assert all(session.stats[s].reads_routed == 1 for s in walked)
+        assert sum(s.fallback_attempts for s in session.stats) == 2
+        assert all(s.fallback_reads == 0 for s in session.stats)
+        assert all(s.retries >= 1 for s in [session.stats[s] for s in walked])
+        assert sum(len(s.op_latency) for s in session.stats) == 0
+        assert sum(s.undetected_violations for s in session.stats) == 0
+
+
+class TestPutBackoffAccounting:
+    """The bounded-spin client-retry path: busy bounces and client
+    re-issues stay paired per shard, re-issues back off with growing,
+    deterministic, jittered gaps, and the pairing survives a mid-put
+    promotion."""
+
+    def _kv(self, **kw):
+        defaults = dict(
+            n_shards=2,
+            replication=2,
+            mechanism="sabre",
+            object_size=256,
+            n_objects=16,
+            seed=11,
+        )
+        defaults.update(kw)
+        return ShardedKV(ShardedConfig(**defaults))
+
+    @staticmethod
+    def _hold_lock(kv, shard, idx, until_ns):
+        """Wedge the object's lock now; release it at ``until_ns`` (a
+        stand-in for a transaction holding the lock across RPCs)."""
+        store = kv.stores[shard]
+        version = store.current_version(idx)
+        store.phys.write(
+            store.version_addr(idx), (version + 1).to_bytes(8, "little")
+        )
+        kv.cluster.sim.call_at(
+            until_ns,
+            lambda: store.phys.write(
+                store.version_addr(idx), version.to_bytes(8, "little")
+            ),
+        )
+
+    def _run_put(self, kv, key):
+        done = []
+
+        def client():
+            ack = yield kv.put(0, key)
+            done.append((ack, kv.cluster.sim.now))
+
+        kv.cluster.sim.process(client())
+        kv.cluster.sim.run()
+        return done[0]
+
+    def test_busy_rejects_pair_with_write_retries(self):
+        kv = self._kv()
+        key = kv.keys()[0]
+        idx = kv.key_index(key)
+        primary = kv.primary_of(key)
+        self._hold_lock(kv, primary, idx, until_ns=30_000.0)
+        ack, _t = self._run_put(kv, key)
+        assert ack == b"\x01"
+        ws = kv.write_stats[primary]
+        assert ws.busy_rejects == ws.write_retries
+        assert ws.busy_rejects >= 2
+        assert ws.primary_updates == 1
+
+    def test_backoff_grows_and_is_deterministic(self):
+        def trace():
+            kv = self._kv()
+            key = kv.keys()[0]
+            idx = kv.key_index(key)
+            primary = kv.primary_of(key)
+            self._hold_lock(kv, primary, idx, until_ns=30_000.0)
+            issues = []
+            endpoint = kv.client_rpc(0)
+            orig = endpoint.call
+
+            def spy(dst, name, payload, timeout_ns=None):
+                if name == "shard_put":
+                    issues.append(kv.cluster.sim.now)
+                return orig(dst, name, payload, timeout_ns=timeout_ns)
+
+            endpoint.call = spy
+            ack, t_done = self._run_put(kv, key)
+            assert ack == b"\x01"
+            return issues, t_done
+
+        issues_a, done_a = trace()
+        issues_b, done_b = trace()
+        assert issues_a == issues_b  # jitter is seeded, not wall-clock
+        assert done_a == done_b
+        assert len(issues_a) >= 4
+        gaps = [b - a for a, b in zip(issues_a, issues_a[1:])]
+        # Exponential growth dominates the jitter by the later gaps.
+        assert gaps[-1] > gaps[0]
+
+    def test_pairing_survives_promotion_mid_put(self):
+        from repro.objstore.failover import FailoverManager
+
+        kv = self._kv()
+        fm = FailoverManager(kv)
+        sim = kv.cluster.sim
+        key = kv.keys()[0]
+        idx = kv.key_index(key)
+        primary, backup = kv.replicas_of(key)
+        self._hold_lock(kv, primary, idx, until_ns=50_000.0)
+        # Crash the wedged primary while the put is bouncing on it.
+        sim.call_at(6_000.0, lambda: fm.crash(primary))
+        ack, _t = self._run_put(kv, key)
+        assert ack == b"\x01"
+        old = kv.write_stats[primary]
+        assert old.busy_rejects == old.write_retries >= 1
+        assert old.primary_updates == 0
+        # The re-issue after the crash landed on the promotee.
+        assert kv.write_stats[backup].primary_updates == 1
+        assert kv.stores[backup].current_version(idx) == 2

@@ -228,3 +228,86 @@ def test_peek():
     assert sim.peek() == float("inf")
     sim.call_later(3.5, lambda: None)
     assert sim.peek() == 3.5
+
+
+# ----------------------------------------------------------------------
+# scheduled-call cancellation and heap compaction
+# ----------------------------------------------------------------------
+
+
+def test_cancelled_call_never_runs():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_later(5.0, lambda: fired.append("a"))
+    sim.call_later(6.0, lambda: fired.append("b"))
+    sim.cancel_call(handle)
+    sim.run()
+    assert fired == ["b"]
+    assert sim.now == 6.0
+
+
+def test_cancel_is_idempotent_and_safe_after_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_later(1.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+    sim.cancel_call(handle)  # already ran: no-op
+    sim.cancel_call(handle)
+    assert sim.live_calls == 0
+
+
+def test_peek_skips_cancelled_entries():
+    sim = Simulator()
+    early = sim.call_later(1.0, lambda: None)
+    sim.call_later(9.0, lambda: None)
+    sim.cancel_call(early)
+    assert sim.peek() == 9.0
+
+
+def test_fifo_order_survives_interleaved_cancels():
+    sim = Simulator()
+    order = []
+    handles = [
+        sim.call_later(3.0, lambda i=i: order.append(i)) for i in range(6)
+    ]
+    for i in (1, 4):
+        sim.cancel_call(handles[i])
+    sim.run()
+    assert order == [0, 2, 3, 5]
+
+
+def test_mass_cancellation_compacts_heap():
+    """The failover soak pattern: schedule far-future watchdogs, cancel
+    nearly all of them.  Lazy deletion alone would hold every dead
+    entry until its deadline; compaction keeps the heap at the size of
+    the live work."""
+    sim = Simulator()
+    handles = [sim.call_later(1e6 + i, lambda: None) for i in range(5000)]
+    for handle in handles[:4900]:
+        sim.cancel_call(handle)
+    assert sim.compactions >= 1
+    assert sim.heap_size < 1000  # ~100 live + bounded cancelled residue
+    assert sim.live_calls == 100
+    sim.run()
+    assert sim.heap_size == 0
+
+
+def test_compaction_during_run_is_safe():
+    """Cancelling (and thereby compacting) from inside a callback must
+    not confuse the run loop's view of the heap."""
+    sim = Simulator()
+    fired = []
+    victims = [sim.call_later(50.0 + i, lambda: fired.append("dead"))
+               for i in range(200)]
+
+    def killer():
+        for handle in victims:
+            sim.cancel_call(handle)
+        fired.append("killed")
+
+    sim.call_later(1.0, killer)
+    sim.call_later(100.0, lambda: fired.append("tail"))
+    sim.run()
+    assert fired == ["killed", "tail"]
+    assert sim.now == 100.0
