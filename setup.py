@@ -17,6 +17,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-harness=repro.harness.cli:main",
+            "repro-perf=repro.perf.cli:main",
             # Historical name, kept for compatibility.
             "sabres-experiments=repro.harness.cli:main",
         ]

@@ -23,6 +23,7 @@ from structure rather than tuning:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.common.units import CACHE_BLOCK
 
@@ -94,6 +95,11 @@ class SoftwareCosts:
     rpc_dispatch_ns: float = 180.0
     rpc_marshal_ns_per_byte: float = 0.08
 
+    # Each cost is a pure function of (config, sizes) and a run only
+    # touches a handful of distinct sizes (the object ladder), so the
+    # per-access computations memoize behind config-keyed caches (the
+    # frozen dataclass is hashable; ``self`` is part of every key).
+    @lru_cache(maxsize=4096)
     def strip_cost_ns(self, wire_bytes: int) -> float:
         """Cost to strip per-cache-line versions off ``wire_bytes`` of
         transferred data and check them (FaRM baseline read path)."""
@@ -108,16 +114,19 @@ class SoftwareCosts:
             + wire_bytes * self.strip_ns_per_byte
         )
 
+    @lru_cache(maxsize=4096)
     def checksum_cost_ns(self, payload_bytes: int) -> float:
         """Cost to CRC64 ``payload_bytes`` (Pilaf baseline)."""
         if payload_bytes <= 0:
             return 0.0
         return self.checksum_fixed_ns + payload_bytes * self.checksum_ns_per_byte
 
+    @lru_cache(maxsize=4096)
     def buffer_mgmt_ns(self, wire_bytes: int) -> float:
         """Intermediate-buffer management for the non-zero-copy path."""
         return self.farm_buffer_fixed_ns + wire_bytes * self.farm_buffer_ns_per_byte
 
+    @lru_cache(maxsize=4096)
     def app_consume_ns(self, payload_bytes: int, resident: str = "l1") -> float:
         """Application-side consumption of the clean object.
 
@@ -133,6 +142,7 @@ class SoftwareCosts:
         }[resident]
         return self.app_fixed_ns + payload_bytes * per_byte
 
+    @lru_cache(maxsize=4096)
     def framework_ns(self, *, zero_copy: bool, wire_bytes: int) -> float:
         """FaRM framework time for one lookup.
 
@@ -144,6 +154,7 @@ class SoftwareCosts:
             return fixed * self.sabre_frontend_factor
         return fixed + self.buffer_mgmt_ns(wire_bytes)
 
+    @lru_cache(maxsize=4096)
     def writer_update_ns(self, payload_bytes: int) -> float:
         """Local in-place object update under the odd/even version
         protocol (version bump, block stores, version bump)."""

@@ -19,7 +19,7 @@ from repro.core.stream_buffer import StreamBuffer
 SabreId = Tuple[int, int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class AttEntry:
     """One in-flight SABRe at the destination R2P2."""
 

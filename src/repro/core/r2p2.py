@@ -53,6 +53,8 @@ SendPacket = Callable[[Packet], None]
 class R2P2Engine:
     """One LightSABRes-enhanced R2P2 backend."""
 
+    __slots__ = ("sim", "cfg", "chip", "node_id", "index", "tile", "send_packet", "lock_table", "counters", "mode", "att", "_pending_registrations", "_pending_requests", "_cycle", "_block_cost", "issue_server", "reply_server", "_version_offset")
+
     def __init__(
         self,
         sim: Simulator,
@@ -129,7 +131,7 @@ class R2P2Engine:
             reply = read_reply(
                 self.node_id, pkt.src_node, pkt.transfer_id, pkt.block_offset, payload
             )
-            self.sim.call_at(t_reply, lambda: self.send_packet(reply))
+            self.sim.call_at(t_reply, self.send_packet, reply)
 
         self.sim.call_at(t_issue, start_read)
 
@@ -179,7 +181,7 @@ class R2P2Engine:
                 self.node_id, pkt.src_node, pkt.transfer_id, old, swapped
             )
             t_reply = self.reply_server.request(self._cycle)
-            self.sim.call_at(t_reply, lambda: self.send_packet(reply))
+            self.sim.call_at(t_reply, self.send_packet, reply)
 
         self.sim.call_at(t_issue, perform)
 
@@ -274,33 +276,33 @@ class R2P2Engine:
         return True
 
     def _issue(self, entry: AttEntry, offset: int) -> None:
-        addr = entry.block_addr(offset)
+        addr = entry.base_addr + offset * CACHE_BLOCK
         entry.issue_count += 1
-        if self.mode in (SabreMode.SPECULATIVE, SabreMode.NO_SPECULATION):
+        mode = self.mode
+        if mode is SabreMode.SPECULATIVE or mode is SabreMode.NO_SPECULATION:
             subscribe = (
-                self.mode is SabreMode.SPECULATIVE and entry.speculative
+                mode is SabreMode.SPECULATIVE and entry.speculative
             ) or offset == 0
             if subscribe:
                 self.chip.subscribe(addr, entry.snoop_cb)
                 entry.subscribed_blocks.append(addr)
-        if (
-            self.mode is SabreMode.SPECULATIVE
-            and entry.speculative
-            and entry.stream_buffer.can_issue(offset)
-        ):
-            entry.stream_buffer.mark_issued(offset)
+        if mode is SabreMode.SPECULATIVE and entry.speculative:
+            # can_issue + mark_issued inlined (offset is never negative).
+            sb = entry.stream_buffer
+            if sb._base_block is not None and offset < sb._tracked:
+                sb._issued_bits |= 1 << offset
         t_issue = self.issue_server.request(self._block_cost)
-        epoch = entry.epoch
+        self.sim.call_at(
+            t_issue, self._start_read, entry, addr, offset, entry.epoch
+        )
 
-        def start_read() -> None:
-            if entry.finished or entry.epoch != epoch:
-                return
-            done, _tier = self.chip.read_block(self.tile, addr)
-            self.sim.call_at(
-                done, lambda: self._on_mem_reply(entry, offset, epoch)
-            )
-
-        self.sim.call_at(t_issue, start_read)
+    def _start_read(
+        self, entry: AttEntry, addr: int, offset: int, epoch: int
+    ) -> None:
+        if entry.finished or entry.epoch != epoch:
+            return
+        done, _tier = self.chip.read_block(self.tile, addr)
+        self.sim.call_at(done, self._on_mem_reply, entry, offset, epoch)
 
     # ------------------------------------------------------------------
     # memory replies
@@ -312,8 +314,10 @@ class R2P2Engine:
             self._reply_data(entry, offset, junk=True)
             self._maybe_finish(entry)
             return
-        entry.mark_received(offset)
-        entry.stream_buffer.mark_received(entry.block_addr(offset))
+        entry.received_bits |= 1 << offset  # mark_received, inlined
+        entry.stream_buffer.mark_received(
+            entry.base_addr + offset * CACHE_BLOCK
+        )
         if offset == 0 and self.mode is not SabreMode.LOCKING:
             epoch_before = entry.epoch
             self._consume_version(entry)
@@ -434,17 +438,35 @@ class R2P2Engine:
     # reply path
     # ------------------------------------------------------------------
     def _reply_data(self, entry: AttEntry, offset: int, junk: bool = False) -> None:
-        if not entry.mark_replied(offset):
+        # mark_replied / block_payload_size / read_bytes / sabre_reply
+        # inlined: this runs once per transferred cache block.
+        if entry.replied_bits >> offset & 1:
             return
-        size = block_payload_size(entry.size_bytes, offset)
+        entry.replied_bits |= 1 << offset
+        entry.replied_count += 1
+        size = entry.size_bytes - offset * CACHE_BLOCK
+        if size > CACHE_BLOCK:
+            size = CACHE_BLOCK
+        elif size < 0:
+            size = 0
         if junk:
             payload = bytes(size)
         else:
-            payload = self.chip.read_bytes(entry.block_addr(offset), size)
+            payload = self.chip.phys.read(
+                entry.base_addr + offset * CACHE_BLOCK, size
+            )
         src, _rgp, tid = entry.sabre_id
-        pkt = sabre_reply(self.node_id, src, tid, offset, payload)
+        pkt = Packet(
+            PacketKind.SABRE_REPLY,
+            self.node_id,
+            src,
+            tid,
+            offset,
+            size_bytes=size,
+            payload=payload,
+        )
         t_reply = self.reply_server.request(self._cycle)
-        self.sim.call_at(t_reply, lambda: self.send_packet(pkt))
+        self.sim.call_at(t_reply, self.send_packet, pkt)
 
     # ------------------------------------------------------------------
     # completion & validate stage (§4.2)
@@ -452,7 +474,7 @@ class R2P2Engine:
     def _maybe_finish(self, entry: AttEntry) -> None:
         if entry.finished or entry.validating:
             return
-        if not entry.all_replied:
+        if entry.replied_count < entry.total_blocks:
             return
         if entry.aborted:
             self._send_validation(entry, success=False)
@@ -498,7 +520,7 @@ class R2P2Engine:
         pkt = sabre_validation(self.node_id, src, tid, success)
         pkt.meta["version"] = entry.version
         t_reply = self.reply_server.request(self._cycle)
-        self.sim.call_at(t_reply, lambda: self.send_packet(pkt))
+        self.sim.call_at(t_reply, self.send_packet, pkt)
         self.att.free(entry)
         if self._pending_registrations and self.att.has_free_entry():
             self._register(self._pending_registrations.popleft())

@@ -19,6 +19,8 @@ from repro.common.units import CACHE_BLOCK
 class StreamBuffer:
     """One stream buffer: base address + bitvector of ``depth`` slots."""
 
+    __slots__ = ("depth", "_base_block", "_tracked", "_issued_bits", "_received_bits")
+
     def __init__(self, depth: int):
         if depth < 1:
             raise SimulationError(f"stream buffer depth must be >= 1: {depth}")
@@ -88,8 +90,15 @@ class StreamBuffer:
 
     def mark_received(self, block_addr: int) -> bool:
         """Record a data reply; True if it matched this buffer."""
-        slot = self.slot_of(block_addr)
-        if slot is None:
+        # slot_of() inlined: this runs once per received block.
+        base = self._base_block
+        if base is None:
+            return False
+        delta = block_addr - base
+        if delta < 0 or delta % CACHE_BLOCK:
+            return False
+        slot = delta // CACHE_BLOCK
+        if slot >= self._tracked:
             return False
         self._received_bits |= 1 << slot
         return True

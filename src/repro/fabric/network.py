@@ -23,6 +23,8 @@ class Link:
     """One direction of a node-to-node link: serialization at the link
     bandwidth plus fixed propagation per hop."""
 
+    __slots__ = ("sim", "cfg", "hops", "server", "packets_sent", "_floor_ns", "_header_bytes")
+
     def __init__(
         self, sim: Simulator, cfg: FabricConfig, hops: int = 1, name: str = ""
     ):
@@ -33,9 +35,11 @@ class Link:
         self.hops = hops
         self.server = BandwidthServer(sim, cfg.link_gbps, name)
         self.packets_sent = 0
+        self._floor_ns = hops * cfg.hop_latency_ns
+        self._header_bytes = cfg.header_bytes
 
     def latency_floor_ns(self) -> float:
-        return self.hops * self.cfg.hop_latency_ns
+        return self._floor_ns
 
     def send(self, packet: Packet, deliver: PacketHandler) -> float:
         """Enqueue ``packet``; ``deliver`` runs at arrival time.
@@ -43,9 +47,9 @@ class Link:
         Returns the arrival time.
         """
         self.packets_sent += 1
-        wire = packet.wire_bytes(self.cfg.header_bytes)
-        arrival = self.server.request(wire, self.latency_floor_ns())
-        self.sim.call_at(arrival, lambda: deliver(packet))
+        wire = packet.wire_bytes(self._header_bytes)
+        arrival = self.server.request(wire, self._floor_ns)
+        self.sim.call_at(arrival, deliver, packet)
         return arrival
 
 
@@ -121,7 +125,10 @@ class Fabric:
         handler = self._handlers.get(packet.dst_node)
         if handler is None:
             raise ConfigError(f"no handler attached for node {packet.dst_node}")
-        return self.link(packet.src_node, packet.dst_node).send(packet, handler)
+        link = self._links.get((packet.src_node, packet.dst_node))
+        if link is None:
+            link = self.link(packet.src_node, packet.dst_node)
+        return link.send(packet, handler)
 
     def packets_on(self, src: int, dst: int) -> int:
         link = self._links.get((src, dst))

@@ -35,7 +35,7 @@ class PacketKind(Enum):
 _packet_seq = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One fabric packet.
 
@@ -52,7 +52,7 @@ class Packet:
     size_bytes: int = 0
     payload: Optional[bytes] = None
     meta: dict[str, Any] = field(default_factory=dict)
-    seq: int = field(default_factory=lambda: next(_packet_seq))
+    seq: int = field(default_factory=_packet_seq.__next__)
 
     def wire_bytes(self, header_bytes: int) -> int:
         """Total bytes this packet occupies on a link."""

@@ -17,11 +17,17 @@ from repro.common.errors import SimulationError
 class PhysicalMemory:
     """Sparse physical memory made of bump-allocated regions."""
 
+    __slots__ = ("_next", "_alignment", "_starts", "_regions", "_last")
+
     def __init__(self, base: int = 0x10000, alignment: int = 64):
         self._next = base
         self._alignment = alignment
         self._starts: List[int] = []
         self._regions: List[Tuple[int, bytearray]] = []
+        #: Last region hit by :meth:`_locate` — accesses cluster on one
+        #: object (block-by-block reads/writes), so this short-circuits
+        #: the bisect on the common case.
+        self._last: Tuple[int, int, bytearray] = (1, 0, bytearray())
 
     def allocate(self, size: int, align: int = 0) -> int:
         """Allocate ``size`` zeroed bytes; returns the base address."""
@@ -37,6 +43,9 @@ class PhysicalMemory:
         return base
 
     def _locate(self, addr: int, size: int) -> Tuple[bytearray, int]:
+        base, end, buf = self._last
+        if base <= addr and addr + size <= end:
+            return buf, addr - base
         idx = bisect.bisect_right(self._starts, addr) - 1
         if idx < 0:
             raise SimulationError(f"access to unmapped address {addr:#x}")
@@ -46,15 +55,25 @@ class PhysicalMemory:
             raise SimulationError(
                 f"access [{addr:#x}, +{size}) overruns region at {base:#x}"
             )
+        self._last = (base, base + len(buf), buf)
         return buf, offset
 
     def read(self, addr: int, size: int) -> bytes:
-        buf, off = self._locate(addr, size)
+        base, end, buf = self._last
+        if base <= addr and addr + size <= end:
+            off = addr - base
+        else:
+            buf, off = self._locate(addr, size)
         return bytes(buf[off : off + size])
 
     def write(self, addr: int, data: bytes) -> None:
-        buf, off = self._locate(addr, len(data))
-        buf[off : off + len(data)] = data
+        size = len(data)
+        base, end, buf = self._last
+        if base <= addr and addr + size <= end:
+            off = addr - base
+        else:
+            buf, off = self._locate(addr, size)
+        buf[off : off + size] = data
 
     def read_u64(self, addr: int) -> int:
         return int.from_bytes(self.read(addr, 8), "little")

@@ -17,6 +17,8 @@ class LruCache:
     source of LightSABRes' "false alarm" validate path (§4.2).
     """
 
+    __slots__ = ("capacity", "name", "_blocks", "hits", "misses", "evictions")
+
     def __init__(self, capacity_blocks: int, name: str = ""):
         if capacity_blocks < 1:
             raise SimulationError(f"capacity must be >= 1: {capacity_blocks}")

@@ -49,6 +49,8 @@ SnoopCallback = Callable[[int, InvalidationCause], None]
 class ChipMemorySystem:
     """Memory hierarchy of one 16-core chip (Table 2)."""
 
+    __slots__ = ("sim", "cfg", "mesh", "phys", "name", "llc", "_l1", "_owner", "dram", "_subs", "_l1_lat", "_llc_lat", "_block", "_mem_extra", "_llc_path", "_upgrade_path", "reads", "writes", "invalidations_sent")
+
     def __init__(
         self,
         sim: Simulator,
@@ -77,6 +79,14 @@ class ChipMemorySystem:
         self._subs: Dict[int, Set[SnoopCallback]] = defaultdict(set)
         self._l1_lat = caches.l1_latency_cycles / cfg.cores.freq_ghz
         self._llc_lat = caches.llc_latency_cycles / cfg.cores.freq_ghz
+        # Hot-path constants, hoisted out of the per-access attribute
+        # chains (read_block/write_block run once per cache block moved).
+        self._block = caches.block_bytes
+        self._mem_extra = cfg.memory.latency_ns + cfg.memory.controller_overhead_ns
+        #: (agent_tile, bank) -> composite LLC-hit latency.
+        self._llc_path: Dict[tuple, float] = {}
+        #: (core_tile, bank) -> write-upgrade latency.
+        self._upgrade_path: Dict[tuple, float] = {}
         self.reads = 0
         self.writes = 0
         self.invalidations_sent = 0
@@ -117,20 +127,21 @@ class ChipMemorySystem:
         ``completion_time`` and reads bytes from :attr:`phys` then.
         """
         self.reads += 1
-        block = self.cfg.caches.block_bytes
+        block = self._block
+        mesh = self.mesh
         baddr = block_addr - (block_addr % block)
-        bank = self.mesh.llc_bank_tile(baddr)
-        t = self.sim.now + self.mesh.latency_ns(agent_tile, bank)
+        bank = mesh.llc_bank_tile(baddr)
 
         owner = self._owner.get(baddr)
         if owner is not None:
             # Dirty in a core's L1: directory forwards, owner downgrades
             # M->S and the LLC picks up the (still dirty) copy.
-            owner_tile = self.mesh.core_tile(owner)
+            t = self.sim._now + mesh.latency_ns(agent_tile, bank)
+            owner_tile = mesh.core_tile(owner)
             t += self._llc_lat
-            t += self.mesh.latency_ns(bank, owner_tile)
+            t += mesh.latency_ns(bank, owner_tile)
             t += self._l1_lat
-            t += self.mesh.latency_ns(owner_tile, agent_tile, block)
+            t += mesh.latency_ns(owner_tile, agent_tile, block)
             l1 = self._l1.get(owner)
             if l1 is not None:
                 l1.mark_clean(baddr)
@@ -139,23 +150,30 @@ class ChipMemorySystem:
             return t, AccessTier.L1
 
         if self.llc.touch(baddr):
-            t += self._llc_lat
-            t += self.mesh.latency_ns(bank, agent_tile, block)
-            return t, AccessTier.LLC
+            # Composite LLC-hit latency memoized per (agent, bank):
+            # request hop + tag latency + data return with payload.
+            key = (agent_tile, bank)
+            lat = self._llc_path.get(key)
+            if lat is None:
+                lat = (
+                    mesh.latency_ns(agent_tile, bank)
+                    + self._llc_lat
+                    + mesh.latency_ns(bank, agent_tile, block)
+                )
+                self._llc_path[key] = lat
+            return self.sim._now + lat, AccessTier.LLC
+        t = self.sim._now + mesh.latency_ns(agent_tile, bank)
 
         # LLC miss: go to memory through the block's home channel.
-        mem = self.cfg.memory
-        channel = self.dram.channel_for(baddr)
-        channel_idx = self.dram.channels.index(channel)
-        mc_tile = self.mesh.mc_tile(channel_idx)
+        channel_idx = self.dram.channel_index(baddr)
+        channel = self.dram.channels[channel_idx]
+        mc_tile = mesh.mc_tile(channel_idx)
         t += self._llc_lat  # tag lookup discovering the miss
-        t += self.mesh.latency_ns(bank, mc_tile)
+        t += mesh.latency_ns(bank, mc_tile)
         # Channel occupancy (queuing + 64B burst), then the DRAM array
         # latency and controller overhead.
-        t = channel.request_at(
-            t, block, mem.latency_ns + mem.controller_overhead_ns
-        )
-        t += self.mesh.latency_ns(mc_tile, agent_tile, block)
+        t = channel.request_at(t, block, self._mem_extra)
+        t += mesh.latency_ns(mc_tile, agent_tile, block)
         if allocate:
             self._llc_insert(baddr, dirty=False)
         return t, AccessTier.MEM
@@ -176,41 +194,61 @@ class ChipMemorySystem:
         synchronously, preserving invalidate-before-write ordering.
         """
         self.writes += 1
-        block = self.cfg.caches.block_bytes
+        block = self._block
         baddr = block_addr - (block_addr % block)
         if data is not None:
-            if len(data) > block:
+            size = len(data)
+            if size > block:
                 raise ValueError(
-                    f"write of {len(data)} bytes exceeds one block"
+                    f"write of {size} bytes exceeds one block"
                 )
-            self.phys.write(block_addr, data)
+            # PhysicalMemory.write's region fast path, inlined (one
+            # byte-store per modeled block write).
+            phys = self.phys
+            base, end, buf = phys._last
+            if base <= block_addr and block_addr + size <= end:
+                off = block_addr - base
+                buf[off : off + size] = data
+            else:
+                phys.write(block_addr, data)
 
         prev = self._owner.get(baddr)
-        l1 = self._l1_for(core)
-        if prev == core and l1.contains(baddr):
-            latency = self._l1_lat  # write hit on own M copy
+        l1 = self._l1.get(core)
+        if l1 is None:
+            l1 = self._l1_for(core)
+        blocks = l1._blocks
+        if prev == core and baddr in blocks:
+            # Write hit on own M copy: dirty-mark + LRU refresh inline
+            # (LruCache.insert's miss/eviction logic cannot trigger).
+            latency = self._l1_lat
+            blocks[baddr] = True
+            blocks.move_to_end(baddr)
         else:
             # Upgrade: invalidate any other copy, take ownership.
             if prev is not None and prev != core:
                 other = self._l1.get(prev)
                 if other is not None:
                     other.invalidate(baddr)
-            bank = self.mesh.llc_bank_tile(baddr)
-            core_tile = self.mesh.core_tile(core)
-            latency = (
-                self.mesh.latency_ns(core_tile, bank) * 2 + self._llc_lat
-            )
+            mesh = self.mesh
+            bank = mesh.llc_bank_tile(baddr)
+            core_tile = mesh.core_tile(core)
+            key = (core_tile, bank)
+            latency = self._upgrade_path.get(key)
+            if latency is None:
+                latency = mesh.latency_ns(core_tile, bank) * 2 + self._llc_lat
+                self._upgrade_path[key] = latency
             self.llc.invalidate(baddr)  # LLC copy is now stale
+            evicted = l1.insert(baddr, dirty=True)
+            if evicted is not None:
+                self._l1_victim(evicted)
         self._owner[baddr] = core
-        evicted = l1.insert(baddr, dirty=True)
-        if evicted is not None:
-            self._l1_victim(evicted)
-        self._notify(baddr, InvalidationCause.WRITE)
+        if self._subs:
+            self._notify(baddr, InvalidationCause.WRITE)
         return latency
 
     def write_bytes(self, core: int, addr: int, data: bytes) -> float:
         """Write a byte range block by block; returns total latency."""
-        block = self.cfg.caches.block_bytes
+        block = self._block
         total = 0.0
         offset = 0
         while offset < len(data):
@@ -245,7 +283,7 @@ class ChipMemorySystem:
         eaddr, edirty = evicted
         if edirty:
             # Write the victim back to memory (consumes channel bandwidth).
-            self.dram.request(eaddr, self.cfg.caches.block_bytes)
+            self.dram.request(eaddr, self._block)
         self._notify(eaddr, InvalidationCause.EVICTION)
 
     # ------------------------------------------------------------------

@@ -212,10 +212,20 @@ def torn_words(payload: bytes) -> Tuple[bool, set]:
     """
     if not payload:
         return False, set()
-    words = {
-        int.from_bytes(payload[i : i + 8], "little")
-        for i in range(0, len(payload) - 7, 8)
-    }
+    full_words = len(payload) // 8
+    if full_words:
+        # Fast path: an untorn stamped payload is one word repeated —
+        # a single C-level compare instead of unpacking every word.
+        first = payload[:8]
+        if payload[: full_words * 8] == first * full_words:
+            words = {int.from_bytes(first, "little")}
+        else:
+            words = {
+                int.from_bytes(payload[i : i + 8], "little")
+                for i in range(0, len(payload) - 7, 8)
+            }
+    else:
+        words = set()
     tail = len(payload) % 8
     if not words:
         # Object smaller than one word: cannot be torn at word level.

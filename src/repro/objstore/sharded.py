@@ -824,7 +824,7 @@ class ShardedKV:
                 return REPLY_BUSY, 0.0
             spins += 1
             ws.lock_spins += 1
-            yield sim.timeout(LOCK_SPIN_NS)
+            yield LOCK_SPIN_NS
 
         # Same odd/even helpers the update plan uses internally, so the
         # payload stamp can never diverge from the header version.
@@ -836,13 +836,19 @@ class ShardedKV:
         # The lock step is applied before the first yield: between the
         # lock check above and this store no other process can run, so
         # two concurrent writers cannot both see an even version.
+        # Delays are yielded as bare floats — the RPC dispatcher's
+        # trampoline fast path — so the per-block interleaving points
+        # (where readers can observe partial images) cost one scheduled
+        # callback each instead of a Timeout event.
+        block_floor = cfg.costs.writer_block_ns
+        chip = node.chip
         addr, chunk = steps[0]
-        latency = node.chip.write_block(core, addr, chunk)
-        yield sim.timeout(max(latency, cfg.costs.writer_block_ns))
-        yield sim.timeout(cfg.costs.writer_fixed_ns)
+        latency = chip.write_block(core, addr, chunk)
+        yield max(latency, block_floor)
+        yield cfg.costs.writer_fixed_ns
         for addr, chunk in steps[1:]:
-            latency = node.chip.write_block(core, addr, chunk)
-            yield sim.timeout(max(latency, cfg.costs.writer_block_ns))
+            latency = chip.write_block(core, addr, chunk)
+            yield max(latency, block_floor)
 
         if replicate:
             ws.primary_updates += 1

@@ -308,8 +308,9 @@ class TxnManager:
                 latency += max(block_ns, costs.writer_block_ns)
             # Lock hold time is simulated time: the timed stores above
             # (plus the writer's fixed overhead) are charged before the
-            # reply leaves, and the locks stay odd throughout.
-            yield sim.timeout(costs.writer_fixed_ns + latency)
+            # reply leaves, and the locks stay odd throughout.  Bare
+            # float yields ride the RPC dispatcher's fast path.
+            yield costs.writer_fixed_ns + latency
             return _OK + _encode_u64s(pre), 0.0
 
         return handler
@@ -374,7 +375,7 @@ class TxnManager:
                 # commit; counting here too would double-book it.
                 return _FENCED, 0.0
             core = kv.next_writer_core(shard)
-            yield sim.timeout(cfg.costs.writer_fixed_ns)
+            yield cfg.costs.writer_fixed_ns
             applied: List[int] = []
             for obj in ids:
                 current = store.current_version(obj)
@@ -391,7 +392,7 @@ class TxnManager:
                 steps, _version = store.commit_steps(obj, data)
                 for addr, chunk in steps:
                     block_ns = node.chip.write_block(core, addr, chunk)
-                    yield sim.timeout(max(block_ns, cfg.costs.writer_block_ns))
+                    yield max(block_ns, cfg.costs.writer_block_ns)
                 ws.primary_updates += 1
                 del owners[obj]
                 applied.append(obj)
@@ -450,7 +451,7 @@ class TxnManager:
                     core, store.version_addr(obj), restore.to_bytes(8, "little")
                 )
                 latency += max(block_ns, costs.writer_block_ns)
-            yield sim.timeout(latency)
+            yield latency
             return _OK, 0.0
 
         return handler

@@ -1,0 +1,26 @@
+"""Performance-benchmark subsystem.
+
+Times end-to-end simulator runs of the flagship scenarios (YCSB on a
+4-shard rack, the transaction mix, the availability-under-crashes mix,
+and the atomicity-fuzz crash lane) and reports *simulator throughput*:
+events per wall-clock second, simulated ns per wall-clock second, and
+operations per second.  ``repro-perf run`` writes ``BENCH_perf.json``
+at the repo root; ``repro-perf compare`` gates regressions against a
+committed baseline.
+
+See ``docs/performance.md`` for the hot-path architecture and how to
+refresh the baseline.
+"""
+
+from repro.perf.bench import BenchResult, run_scenario, run_suite
+from repro.perf.compare import compare_benchmarks
+from repro.perf.scenarios import SCENARIOS, scenario_names
+
+__all__ = [
+    "BenchResult",
+    "SCENARIOS",
+    "compare_benchmarks",
+    "run_scenario",
+    "run_suite",
+    "scenario_names",
+]

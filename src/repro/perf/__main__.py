@@ -1,0 +1,8 @@
+"""``python -m repro.perf`` — alias for the ``repro-perf`` CLI."""
+
+import sys
+
+from repro.perf.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

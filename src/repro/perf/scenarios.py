@@ -1,0 +1,111 @@
+"""Perf-benchmark scenarios: fixed-work end-to-end simulator runs.
+
+Each scenario is a plain function ``fn(scale) -> dict`` that builds its
+workload from a *fixed* config (fixed seeds, fixed measurement window,
+so a given scale implies a fixed operation count), runs it to
+completion, and returns scenario-specific counters — at minimum
+``ops`` (application-level operations completed) and ``sim_ns`` (the
+simulated horizon).  The bench harness (:mod:`repro.perf.bench`) wraps
+the call with wall-clock timing and simulator event accounting.
+
+Scenario configs deliberately mirror the registered experiment specs'
+flagship points (the 4-shard YCSB deployment of ``ycsb_latency``, the
+default ``txn_mix`` and ``failover_availability`` mixes) so a perf
+regression here is a perf regression every sweep pays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.harness.report import scaled_duration
+from repro.workloads.availability import FailoverMixConfig, run_failover_mix
+from repro.workloads.fuzz import fuzz_round
+from repro.workloads.txn_mix import TxnMixConfig, run_txn_mix
+from repro.workloads.ycsb import YcsbConfig, run_ycsb
+
+ScenarioFn = Callable[[float], Dict[str, float]]
+
+#: Seeds for the atomicity-fuzz crash-lane rounds (one round per seed).
+FUZZ_ROUND_SEEDS: Tuple[int, ...] = (505, 506, 507)
+
+
+def ycsb_latency(scale: float = 1.0) -> Dict[str, float]:
+    """YCSB-B (the classic read-mostly mix, this repo's default) over
+    Zipfian keys on the flagship 4-shard SABRe deployment — the config
+    every ``ycsb_latency`` sweep point pays."""
+    cfg = YcsbConfig(
+        workload="B",
+        distribution="zipfian",
+        mechanism="sabre",
+        n_shards=4,
+        readers_per_client=2,
+        replication=2,
+        object_size=1024,
+        n_objects=512,
+        duration_ns=scaled_duration(400_000.0, scale),
+        warmup_ns=15_000.0,
+        seed=7,
+    )
+    result = run_ycsb(cfg)
+    ops = result.reads_completed + result.writes_completed
+    return {"ops": ops, "sim_ns": cfg.duration_ns}
+
+
+def txn_mix(scale: float = 1.0) -> Dict[str, float]:
+    """The default YCSB-T-style RMW/read-only transaction mix."""
+    cfg = TxnMixConfig(duration_ns=scaled_duration(250_000.0, scale), seed=17)
+    result = run_txn_mix(cfg)
+    return {
+        "ops": result.commits,
+        "attempts": result.attempts,
+        "sim_ns": cfg.duration_ns,
+    }
+
+
+def failover_availability(scale: float = 1.0) -> Dict[str, float]:
+    """The availability mix: readers/writers/transactions riding
+    through crash/promote/recover cycles."""
+    cfg = FailoverMixConfig(
+        duration_ns=scaled_duration(250_000.0, scale), seed=29
+    )
+    result = run_failover_mix(cfg)
+    ops = result.reads_completed + result.writes_completed + result.commits
+    return {
+        "ops": ops,
+        "crashes": result.crashes,
+        "sim_ns": cfg.duration_ns,
+    }
+
+
+def atomicity_fuzz(scale: float = 1.0) -> Dict[str, float]:
+    """Crash-lane fuzz throughput: seed-derived randomized
+    interleavings with 3 crash/recover cycles each.  ``ops`` counts
+    completed rounds, so ``ops_per_s`` is interleavings per second —
+    the number that bounds how many schedules every fuzz lane can
+    afford."""
+    duration = scaled_duration(45_000.0, scale, floor_ns=20_000.0)
+    rounds = 0
+    sim_ns = 0.0
+    consumed = 0
+    for seed in FUZZ_ROUND_SEEDS:
+        outcome = fuzz_round(
+            "sabre", 4, seed=seed, duration_ns=duration, crash_cycles=3
+        )
+        rounds += 1
+        sim_ns += duration
+        consumed += outcome.reads_consumed
+    return {"ops": rounds, "reads_consumed": consumed, "sim_ns": sim_ns}
+
+
+#: Registered perf scenarios, in report order.
+SCENARIOS: Dict[str, ScenarioFn] = {
+    "ycsb_latency": ycsb_latency,
+    "txn_mix": txn_mix,
+    "failover_availability": failover_availability,
+    "atomicity_fuzz": atomicity_fuzz,
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(SCENARIOS)

@@ -16,6 +16,8 @@ class FifoResource:
     the holder must call ``release()`` exactly once per grant.
     """
 
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
+
     def __init__(self, sim: Simulator, capacity: int = 1):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
@@ -60,6 +62,8 @@ class BandwidthServer:
     schedule their own continuation or ask for an event.
     """
 
+    __slots__ = ("sim", "rate", "name", "_next_free", "_busy_ns", "_bytes")
+
     def __init__(self, sim: Simulator, bytes_per_ns: float, name: str = ""):
         if bytes_per_ns <= 0:
             raise SimulationError(f"rate must be positive, got {bytes_per_ns}")
@@ -76,7 +80,20 @@ class BandwidthServer:
         ``extra_latency`` is tacked on *after* the channel is traversed
         (propagation) and does not occupy the channel.
         """
-        return self.request_at(self.sim.now, nbytes, extra_latency)
+        # Inlined request_at(now, ...): this runs once per modeled
+        # block/packet and the extra call shows up in profiles.
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        start = self.sim._now
+        next_free = self._next_free
+        if next_free > start:
+            start = next_free
+        service = nbytes / self.rate
+        next_free = start + service
+        self._next_free = next_free
+        self._busy_ns += service
+        self._bytes += nbytes
+        return next_free + extra_latency
 
     def request_at(
         self, earliest: float, nbytes: float, extra_latency: float = 0.0
@@ -85,12 +102,21 @@ class BandwidthServer:
         ``earliest`` (e.g. the request message is still in flight)."""
         if nbytes < 0:
             raise SimulationError(f"negative transfer size: {nbytes}")
-        start = max(earliest, self.sim.now, self._next_free)
+        # Reads the simulator's private clock directly: this runs once
+        # per modeled block/packet and the property indirection shows
+        # up in profiles.
+        start = self.sim._now
+        if earliest > start:
+            start = earliest
+        next_free = self._next_free
+        if next_free > start:
+            start = next_free
         service = nbytes / self.rate
-        self._next_free = start + service
+        next_free = start + service
+        self._next_free = next_free
         self._busy_ns += service
         self._bytes += nbytes
-        return self._next_free + extra_latency
+        return next_free + extra_latency
 
     def request_event(self, nbytes: float, extra_latency: float = 0.0) -> Event:
         done_at = self.request(nbytes, extra_latency)
@@ -120,6 +146,8 @@ class MultiChannel:
     channels (Table 2: 4 x 25.6 GBps).
     """
 
+    __slots__ = ("interleave", "channels")
+
     def __init__(
         self,
         sim: Simulator,
@@ -138,6 +166,9 @@ class MultiChannel:
 
     def channel_for(self, addr: int) -> BandwidthServer:
         return self.channels[(addr // self.interleave) % len(self.channels)]
+
+    def channel_index(self, addr: int) -> int:
+        return (addr // self.interleave) % len(self.channels)
 
     def request(
         self, addr: int, nbytes: float, extra_latency: float = 0.0

@@ -47,9 +47,32 @@ from repro.sonuma.transfer import (
 #: no packet ever leaves the node).
 CRASH_NOTICE_NS = 40.0
 
+#: NI dispatch tables (frozensets: one hash probe per packet).
+_REQUEST_KINDS = frozenset(
+    (
+        PacketKind.READ_REQUEST,
+        PacketKind.SABRE_REGISTRATION,
+        PacketKind.SABRE_REQUEST,
+        PacketKind.WRITE_REQUEST,
+        PacketKind.CAS_REQUEST,
+    )
+)
+_REPLY_KINDS = frozenset(
+    (
+        PacketKind.READ_REPLY,
+        PacketKind.SABRE_REPLY,
+        PacketKind.SABRE_VALIDATION,
+        PacketKind.WRITE_ACK,
+        PacketKind.CAS_REPLY,
+    )
+)
+_RPC_KINDS = frozenset((PacketKind.RPC_SEND, PacketKind.RPC_REPLY))
+
 
 class SoNode:
     """One rack node: chip + memory + RMC + NI."""
+
+    __slots__ = ("sim", "node_id", "cfg", "cluster_cfg", "fabric", "mesh", "phys", "chip", "counters", "lock_table", "r2p2s", "_tid", "_transfers", "_completions", "_aborted", "_rgp", "_rcp", "_rmc_cycle", "_rpc_handler")
 
     def __init__(
         self,
@@ -178,7 +201,7 @@ class SoNode:
             pkt.meta["r2p2"] = (remote_addr // CACHE_BLOCK) % rmc.backends
             t = self._rgp[transfer.backend].request(self._rmc_cycle)
             transfer.timings.first_request = max(t, self.sim.now)
-            self.sim.call_at(t, lambda: self.fabric.send(pkt))
+            self.sim.call_at(t, self.fabric.send, pkt)
 
         self.sim.call_later(pickup, unroll)
         return completion
@@ -217,7 +240,7 @@ class SoNode:
         if not self.fabric.alive(dst_node):
             return self._fail_transfer(transfer)
         pickup_delay = rmc.wq_post_ns + rmc.wq_pickup_ns
-        self.sim.call_later(pickup_delay, lambda: self._unroll(transfer))
+        self.sim.call_later(pickup_delay, self._unroll, transfer)
         return completion
 
     # ------------------------------------------------------------------
@@ -287,7 +310,7 @@ class SoNode:
                 rgp=transfer.backend,
             )
             t = rgp.request(self._rmc_cycle)
-            self.sim.call_at(t, lambda pkt=reg: self.fabric.send(pkt))
+            self.sim.call_at(t, self.fabric.send, reg)
 
         for offset in range(transfer.total_blocks):
             if transfer.op is OpKind.SABRE:
@@ -329,7 +352,7 @@ class SoNode:
             t = rgp.request(self._rmc_cycle * self.cfg.rmc.rgp_request_cycles)
             if offset == 0:
                 transfer.timings.first_request = max(t, self.sim.now)
-            self.sim.call_at(t, lambda pkt=pkt: self.fabric.send(pkt))
+            self.sim.call_at(t, self.fabric.send, pkt)
 
     @staticmethod
     def _payload_size(transfer: SourceTransfer, offset: int) -> int:
@@ -347,23 +370,12 @@ class SoNode:
             # Dead NI: packets that were already in flight when the
             # node crashed arrive at nothing and vanish.
             return
-        if pkt.kind in (
-            PacketKind.READ_REQUEST,
-            PacketKind.SABRE_REGISTRATION,
-            PacketKind.SABRE_REQUEST,
-            PacketKind.WRITE_REQUEST,
-            PacketKind.CAS_REQUEST,
-        ):
+        kind = pkt.kind
+        if kind in _REQUEST_KINDS:
             self.r2p2s[pkt.meta.get("r2p2", 0)].handle_packet(pkt)
-        elif pkt.kind in (
-            PacketKind.READ_REPLY,
-            PacketKind.SABRE_REPLY,
-            PacketKind.SABRE_VALIDATION,
-            PacketKind.WRITE_ACK,
-            PacketKind.CAS_REPLY,
-        ):
+        elif kind in _REPLY_KINDS:
             self._on_reply(pkt)
-        elif pkt.kind in (PacketKind.RPC_SEND, PacketKind.RPC_REPLY):
+        elif kind in _RPC_KINDS:
             if self._rpc_handler is None:
                 raise ProtocolError(f"node {self.node_id} has no RPC endpoint")
             self._rpc_handler(pkt)
@@ -388,7 +400,7 @@ class SoNode:
             )
         rcp = self._rcp[transfer.backend]
         t = rcp.request(self._rmc_cycle)
-        self.sim.call_at(t, lambda: self._process_reply(transfer, pkt))
+        self.sim.call_at(t, self._process_reply, transfer, pkt)
 
     def _process_reply(self, transfer: SourceTransfer, pkt: Packet) -> None:
         if transfer.completed:

@@ -9,8 +9,8 @@ travels back as a fabric packet.
 
 from __future__ import annotations
 
-import inspect
 import itertools
+from types import GeneratorType
 from typing import Any, Callable, Dict, Generator, Optional, Tuple, Union
 
 from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
@@ -27,9 +27,12 @@ RpcReply = Tuple[bytes, float]
 #: yields simulation events (timed memory writes, nested RPCs, ...)
 #: before returning the reply tuple — used by services whose request
 #: handling has internal timing structure, like the sharded store's
-#: replicated writes.
+#: replicated writes.  Generator handlers may also yield a bare
+#: ``float`` — a plain delay in ns — which the dispatcher turns into a
+#: scheduled continuation without allocating a Timeout event (the
+#: per-block fast path of the sharded store's update loop).
 RpcHandler = Callable[
-    [bytes], Union[RpcReply, Generator[Event, Any, RpcReply]]
+    [bytes], Union[RpcReply, Generator[Union[Event, float], Any, RpcReply]]
 ]
 
 
@@ -109,7 +112,7 @@ class RpcEndpoint:
             payload=payload,
             meta={"name": name},
         )
-        self.sim.call_later(marshal, lambda: self.node.fabric.send(pkt))
+        self.sim.call_later(marshal, self.node.fabric.send, pkt)
         return completion
 
     # ------------------------------------------------------------------
@@ -175,7 +178,7 @@ class RpcEndpoint:
     # ------------------------------------------------------------------
     def _on_packet(self, pkt: Packet) -> None:
         if pkt.kind is PacketKind.RPC_SEND:
-            self.sim.process(self._serve(pkt))
+            self._serve(pkt)
         elif pkt.kind is PacketKind.RPC_REPLY:
             entry = self._pending.pop(pkt.transfer_id, None)
             if entry is None:
@@ -191,29 +194,103 @@ class RpcEndpoint:
         else:
             raise ProtocolError(f"RPC endpoint cannot handle {pkt.kind}")
 
-    def _serve(self, pkt: Packet):
+    def _serve(self, pkt: Packet) -> None:
+        """Serve one request on the worker pool.
+
+        This is a *flattened* version of the obvious generator process
+        (``yield acquire; yield timeout(dispatch); run handler; yield
+        timeout(service); reply``): the common request/reply shape
+        costs two scheduled callbacks instead of a full
+        :class:`~repro.sim.engine.Process` plus one event per step.
+        Generator handlers are driven by the same minimal trampoline
+        (:meth:`_drive`), one callback per yielded event.
+        """
         handler = self._handlers.get(pkt.meta["name"])
         if handler is None:
             raise ProtocolError(f"no RPC handler named {pkt.meta['name']!r}")
-        yield self._workers.acquire()
-        try:
-            yield self.sim.timeout(self.costs.rpc_dispatch_ns)
-            outcome = handler(pkt.payload or b"")
-            if inspect.isgenerator(outcome):
-                reply_payload, service_ns = yield from outcome
+        sim = self.sim
+
+        def granted(_ev: Event) -> None:
+            sim.call_later(self.costs.rpc_dispatch_ns, run)
+
+        def run() -> None:
+            try:
+                outcome = handler(pkt.payload or b"")
+            except BaseException:
+                self._workers.release()
+                raise
+            if type(outcome) is GeneratorType:
+                self._drive(outcome, None, finish)
             else:
+                finish(outcome)
+
+        def finish(outcome: RpcReply) -> None:
+            try:
                 reply_payload, service_ns = outcome
+            except BaseException:
+                # Malformed outcome (e.g. a generator handler that fell
+                # off the end): release before propagating, matching
+                # the old generator _serve's try/finally guarantee.
+                self._workers.release()
+                raise
             if service_ns > 0:
-                yield self.sim.timeout(service_ns)
+                sim.call_later(service_ns, complete, reply_payload)
+            else:
+                complete(reply_payload)
+
+        def complete(reply_payload: bytes) -> None:
             self.served += 1
-            reply = Packet(
-                PacketKind.RPC_REPLY,
-                self.node.node_id,
-                pkt.src_node,
-                transfer_id=pkt.transfer_id,
-                size_bytes=len(reply_payload),
-                payload=reply_payload,
-            )
-            self.node.fabric.send(reply)
-        finally:
+            try:
+                reply = Packet(
+                    PacketKind.RPC_REPLY,
+                    self.node.node_id,
+                    pkt.src_node,
+                    transfer_id=pkt.transfer_id,
+                    size_bytes=len(reply_payload),
+                    payload=reply_payload,
+                )
+                self.node.fabric.send(reply)
+            finally:
+                self._workers.release()
+
+        self._workers.acquire().add_callback(granted)
+
+    def _drive(
+        self,
+        gen: Generator[Event, Any, RpcReply],
+        send_value: Any,
+        finish: Callable[[RpcReply], None],
+    ) -> None:
+        """Minimal trampoline for generator handlers: step the
+        generator, park its continuation directly on the yielded event
+        — no per-step :class:`Process` machinery.  The worker slot is
+        released on the error path so a raising handler cannot strand
+        the pool."""
+        try:
+            target = gen.send(send_value)
+        except StopIteration as stop:
+            finish(stop.value)
+            return
+        except BaseException:
             self._workers.release()
+            raise
+        cls = type(target)
+        if cls is float or cls is int:
+            # A bare delay: schedule the continuation directly.  Same
+            # (when, seq) position as a Timeout's dispatch would get,
+            # minus the event allocation and callback plumbing.
+            try:
+                self.sim.call_later(target, self._drive, gen, None, finish)
+            except BaseException:
+                self._workers.release()  # e.g. a negative computed delay
+                raise
+            return
+        if not isinstance(target, Event):
+            self._workers.release()
+            raise ProtocolError(
+                f"RPC handler yielded {target!r}; handlers must "
+                f"yield Events or float delays"
+            )
+        target.add_callback(
+            lambda ev: self._drive(gen, ev.value, finish)
+        )

@@ -42,7 +42,7 @@ class OpKind(Enum):
     SABRE = "sabre"
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferTimings:
     """Wall-clock (simulated ns) milestones of one transfer."""
 
@@ -61,7 +61,7 @@ class TransferTimings:
         return self.last_reply - self.pickup
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferResult:
     """What the core observes in the Completion Queue entry.
 
@@ -83,7 +83,7 @@ class TransferResult:
     crashed: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class SourceTransfer:
     """RMC-internal bookkeeping for one in-flight transfer."""
 

@@ -1,0 +1,148 @@
+"""Randomized atomicity-fuzz driver over the sharded store.
+
+One :func:`fuzz_round` builds a small, hot sharded deployment and lets
+randomized reader, writer, and multi-object-transaction processes
+interleave for a while; with ``crash_cycles > 0`` a failover lane rides
+along, crashing and recovering shards mid-flight.  The whole schedule
+(process counts, key choices, pacing, transaction shapes, crash times)
+derives from ``seed``, so rounds are reproducible interleavings.
+
+The correctness assertions over the outcome live in
+``tests/test_atomicity_fuzz.py``; the perf suite
+(:mod:`repro.perf.scenarios`) times rounds of the crash lane to track
+fuzz throughput (interleavings per second).
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import derive_seed, make_rng
+from repro.objstore.failover import FailoverManager, FailurePlan
+from repro.objstore.sharded import ShardedConfig, ShardedKV
+from repro.objstore.txn import TxnManager
+
+#: Mechanisms whose consumed reads must never be torn.
+DETECTING = ("sabre", "percl_versions", "checksum", "drtm_lock")
+
+
+class FuzzOutcome:
+    """Aggregated counters of one fuzz round."""
+
+    def __init__(self, kv, manager, injector=None):
+        reader_stats = kv.all_reader_stats()
+        txn = manager.merged_stats()
+        self.undetected_violations = sum(
+            s.undetected_violations for s in reader_stats
+        )
+        self.torn_reads_observed = txn.torn_reads_observed
+        self.reads_consumed = sum(len(s.op_latency) for s in reader_stats)
+        self.commits = txn.commits
+        self.detected_conflicts = (
+            sum(s.sabre_aborts + s.software_conflicts + s.retries
+                for s in reader_stats)
+            + txn.lock_conflicts
+            + txn.validation_aborts
+        )
+        self.writes = sum(ws.primary_updates for ws in kv.write_stats)
+        self.crashes = injector.stats.crashes if injector else 0
+        self.recoveries = injector.stats.recoveries if injector else 0
+        self.promotions = injector.stats.promotions if injector else 0
+        self.crash_aborts = txn.crash_aborts
+        #: Work the crashes demonstrably interrupted: forced txn
+        #: aborts, fenced try-locks, failed in-flight RPCs/transfers.
+        self.crash_disruptions = self.crash_aborts + txn.fenced_locks
+        if injector:
+            self.crash_disruptions += (
+                injector.stats.failed_rpcs + injector.stats.failed_transfers
+            )
+        self.fingerprint = (
+            self.undetected_violations,
+            self.torn_reads_observed,
+            self.reads_consumed,
+            self.commits,
+            self.detected_conflicts,
+            self.writes,
+            self.crashes,
+            self.promotions,
+            self.crash_aborts,
+            [s.retries for s in reader_stats],
+            manager.txn_rows(),
+            kv.shard_load(),
+        )
+
+
+def fuzz_round(
+    mechanism: str,
+    n_shards: int,
+    seed: int,
+    duration_ns: float = 30_000.0,
+    object_size: int = 512,
+    crash_cycles: int = 0,
+) -> FuzzOutcome:
+    """One randomized interleaving: the schedule (process counts, key
+    choices, pacing, transaction shapes) all derive from ``seed``.
+
+    With ``crash_cycles > 0`` a failover lane rides along: that many
+    crash/recover cycles round-robin over the shards at seed-derived
+    times, so readers, writers, and mid-flight transaction commits get
+    interleaved with promotions and re-syncs."""
+    rng = make_rng(seed, "fuzz-schedule", mechanism, n_shards)
+    cfg = ShardedConfig(
+        n_shards=n_shards,
+        n_clients=2,
+        replication=min(2, n_shards),
+        mechanism=mechanism,
+        object_size=object_size,
+        n_objects=rng.randint(4, 8),  # hot: conflicts are the point
+        seed=derive_seed(seed, "fuzz-deploy", mechanism, n_shards),
+    )
+    kv = ShardedKV(cfg)
+    manager = TxnManager(kv)
+    injector = None
+    if crash_cycles:
+        assert n_shards >= 2, "crash fuzzing needs a backup to promote"
+        period = duration_ns / (crash_cycles + 1)
+        downtime = period * rng.uniform(0.25, 0.5)
+        injector = FailoverManager(
+            kv,
+            FailurePlan.cycles(
+                range(n_shards),
+                first_crash_ns=period * rng.uniform(0.3, 0.7),
+                downtime_ns=downtime,
+                uptime_ns=period - downtime,
+                count=crash_cycles,
+            ),
+        )
+    sim = kv.cluster.sim
+    keys = kv.keys()
+    t_end = duration_ns
+
+    def reader_proc(session, label):
+        pick = make_rng(seed, "fuzz-reader", label)
+        while sim.now < t_end:
+            key = keys[pick.randrange(len(keys))]
+            yield from session.lookup(key, t_end)
+
+    def writer_proc(client, label):
+        pick = make_rng(seed, "fuzz-writer", label)
+        while sim.now < t_end:
+            key = keys[pick.randrange(len(keys))]
+            yield kv.put(client, key)
+            yield sim.timeout(pick.uniform(10.0, 200.0))
+
+    def txn_proc(session, label):
+        pick = make_rng(seed, "fuzz-txn", label)
+        while sim.now < t_end:
+            size = pick.randint(2, min(4, len(keys)))
+            chosen = pick.sample(keys, size)
+            writes = chosen[: pick.randint(0, size)]
+            yield from session.run(chosen, writes, t_end)
+
+    for i in range(rng.randint(1, 2)):
+        sim.process(reader_proc(kv.reader_session(i % cfg.clients), i))
+    for i in range(rng.randint(1, 2)):
+        sim.process(writer_proc(i % cfg.clients, i))
+    for i in range(rng.randint(1, 2)):
+        sim.process(txn_proc(manager.session(i % cfg.clients), i))
+
+    sim.run()
+    return FuzzOutcome(kv, manager, injector)

@@ -1,0 +1,89 @@
+"""Cross-scheduler determinism: the calendar scheduler must dispatch in
+exactly the binary-heap order, making every registered experiment's
+artifact byte-identical under either engine.
+
+The tier-1 lane runs a representative spec subset at a tiny scale
+across >=3 seeds; the ``slow`` (nightly) lane sweeps *every* registered
+spec.  Comparison is on the serialized JSON artifact bytes (the sweep's
+``to_json_dict``) with only the wall-clock field masked.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.runner import run_sweep
+from repro.sim.engine import SCHEDULER_ENV, Simulator
+from repro.workloads.fuzz import fuzz_round
+
+SEEDS = (1, 7, 23)
+
+#: Tier-1 subset: the flagship service workloads plus one figure and
+#: one ablation spec (cheap but structurally diverse).
+SMOKE_SPECS = (
+    "ycsb_latency",
+    "txn_abort_rate",
+    "failover_availability",
+    "fig7a",
+)
+
+#: Specs too heavy for a tiny-scale tier-1 matrix; the slow lane covers
+#: them with the full registry sweep.
+SLOW_ONLY_SCALE = 0.02
+
+
+def _artifact_bytes(spec_name: str, engine: str, seed: int, scale: float) -> bytes:
+    os.environ[SCHEDULER_ENV] = engine
+    try:
+        result = run_sweep(registry.get(spec_name), scale=scale, base_seed=seed)
+    finally:
+        os.environ.pop(SCHEDULER_ENV, None)
+    payload = result.to_json_dict()
+    payload["elapsed_s"] = 0.0  # wall clock: the one legitimately varying field
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def test_schedulers_are_selectable():
+    assert Simulator().scheduler == "calendar"
+    assert Simulator(scheduler="heap").scheduler == "heap"
+    os.environ[SCHEDULER_ENV] = "heap"
+    try:
+        assert Simulator().scheduler == "heap"
+    finally:
+        os.environ.pop(SCHEDULER_ENV, None)
+
+
+@pytest.mark.parametrize("spec_name", SMOKE_SPECS)
+def test_calendar_matches_heap_artifacts(spec_name):
+    for seed in SEEDS:
+        heap = _artifact_bytes(spec_name, "heap", seed, SLOW_ONLY_SCALE)
+        calendar = _artifact_bytes(spec_name, "calendar", seed, SLOW_ONLY_SCALE)
+        assert heap == calendar, (spec_name, seed)
+
+
+def test_fuzz_rounds_identical_across_engines():
+    """The randomized crash-lane interleavings — the most
+    schedule-sensitive workload in the repo — must be fingerprint-
+    identical under both engines."""
+    for seed in (505, 616):
+        os.environ[SCHEDULER_ENV] = "heap"
+        try:
+            a = fuzz_round("sabre", 4, seed=seed, duration_ns=40_000.0,
+                           crash_cycles=3)
+        finally:
+            os.environ.pop(SCHEDULER_ENV, None)
+        b = fuzz_round("sabre", 4, seed=seed, duration_ns=40_000.0,
+                       crash_cycles=3)
+        assert a.fingerprint == b.fingerprint, seed
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("spec_name", sorted(set(registry.names())))
+def test_every_registered_spec_is_engine_invariant(spec_name):
+    """Nightly lane: the full registry, three seeds, both engines."""
+    for seed in SEEDS:
+        heap = _artifact_bytes(spec_name, "heap", seed, SLOW_ONLY_SCALE)
+        calendar = _artifact_bytes(spec_name, "calendar", seed, SLOW_ONLY_SCALE)
+        assert heap == calendar, (spec_name, seed)

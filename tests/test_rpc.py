@@ -148,3 +148,27 @@ def test_node_without_endpoint_rejects_rpc():
     cluster.sim.process(client())
     with pytest.raises(ProtocolError):
         cluster.run()
+
+
+def test_raising_handler_paths_never_strand_the_worker_pool():
+    """Review regression: the flattened dispatcher must release the
+    worker slot on *every* error path (the old generator server did so
+    via try/finally).  A generator handler that falls off the end
+    yields a None outcome whose unpack raises — the slot must come
+    back so later RPCs still get served."""
+    cluster, a, b = make_pair()
+
+    def broken(payload: bytes):
+        yield cluster.sim.timeout(5.0)
+        # falls off the end: StopIteration value is None
+
+    a.register("broken", broken)
+    a.register("healthy", lambda payload: (b"ok", 0.0))
+    b.call(0, "broken", b"x")
+    with pytest.raises(TypeError):
+        cluster.run()
+    # The slot was released on the error path: a later healthy call is
+    # served instead of queueing forever behind a leaked slot.
+    done = b.call(0, "healthy", b"y")
+    cluster.run()
+    assert done.value == b"ok"

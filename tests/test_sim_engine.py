@@ -1,9 +1,19 @@
-"""Unit tests for the discrete-event kernel."""
+"""Unit tests for the discrete-event kernel.
+
+The ``sim`` fixture parametrizes every test over both scheduler
+implementations (calendar and the legacy heap), so the kernel contract
+is pinned identically for each.
+"""
 
 import pytest
 
 from repro.common.errors import SimulationError
 from repro.sim.engine import Interrupt, Simulator
+
+
+@pytest.fixture(params=["calendar", "heap"])
+def sim(request) -> Simulator:
+    return Simulator(scheduler=request.param)
 
 
 def test_time_starts_at_zero():
@@ -311,3 +321,125 @@ def test_compaction_during_run_is_safe():
     sim.run()
     assert fired == ["killed", "tail"]
     assert sim.now == 100.0
+
+
+# ----------------------------------------------------------------------
+# self-cancellation during fire (regression: must be a clean no-op on
+# both schedulers, not a double-compaction accounting bug)
+# ----------------------------------------------------------------------
+
+
+class TestSelfCancelDuringFire:
+    def test_handle_cancelled_inside_its_own_callback(self, sim):
+        """A callback cancelling its *own* handle mid-fire must not
+        skew the cancelled count: the entry was already consumed, so
+        the cancel is a no-op and later live entries still run."""
+        fired = []
+        handles = {}
+
+        def selfish():
+            sim.cancel_call(handles["me"])  # already consumed: no-op
+            sim.cancel_call(handles["me"])  # idempotent too
+            fired.append("selfish")
+
+        handles["me"] = sim.call_later(1.0, selfish)
+        sim.call_later(2.0, lambda: fired.append("tail"))
+        sim.run()
+        assert fired == ["selfish", "tail"]
+        assert sim.live_calls == 0
+        assert sim.heap_size == 0
+
+    def test_self_cancel_does_not_poison_compaction_accounting(self, sim):
+        """The accounting bug this pins down: if a self-cancel were
+        counted, ``_cancelled`` would exceed the real dead-entry count
+        and a later compaction would drive it negative — visible as
+        ``live_calls`` over-reporting.  Mass-cancel after a burst of
+        self-cancels and check every invariant."""
+        fired = []
+        handles = []
+
+        def selfish(i):
+            sim.cancel_call(handles[i])
+            fired.append(i)
+
+        for i in range(50):
+            handles.append(sim.call_later(1.0 + i, lambda i=i: selfish(i)))
+        victims = [sim.call_later(1e6 + i, lambda: fired.append("dead"))
+                   for i in range(200)]
+        sim.run(until=500.0)
+        assert fired == list(range(50))
+        for v in victims:
+            sim.cancel_call(v)
+        assert sim.live_calls == 0
+        sim.run()
+        assert fired == list(range(50))
+        assert sim.heap_size == 0
+        assert sim.live_calls == 0
+
+    def test_cancel_sibling_scheduled_at_same_time(self, sim):
+        """Cancelling a same-timestamp later sibling from inside a
+        firing callback must suppress it on both schedulers."""
+        fired = []
+        sibling = {}
+
+        def first():
+            fired.append("first")
+            sim.cancel_call(sibling["h"])
+
+        sim.call_later(3.0, first)
+        sibling["h"] = sim.call_later(3.0, lambda: fired.append("second"))
+        sim.call_later(3.0, lambda: fired.append("third"))
+        sim.run()
+        assert fired == ["first", "third"]
+        assert sim.heap_size == 0
+
+    def test_reschedule_self_from_callback(self, sim):
+        """A callback rescheduling itself gets a fresh handle; the
+        consumed one stays dead."""
+        fired = []
+        state = {}
+
+        def tick():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                state["h"] = sim.call_later(5.0, tick)
+                sim.cancel_call(state["h"])  # cancel the *new* one...
+                state["h"] = sim.call_later(10.0, tick)  # ...keep this
+
+        state["h"] = sim.call_later(10.0, tick)
+        sim.run()
+        assert fired == [10.0, 20.0, 30.0]
+        assert sim.heap_size == 0
+
+
+# ----------------------------------------------------------------------
+# review regressions: past `until`, infinite delays
+# ----------------------------------------------------------------------
+
+
+def test_run_until_past_time_is_a_noop(sim):
+    """``run(until)`` with ``until`` before ``now`` must not move the
+    clock backwards (the calendar's immediate lane is sorted only
+    because time is non-decreasing)."""
+    fired = []
+    sim.call_later(20.0, lambda: fired.append("a"))
+    sim.run()
+    assert sim.now == 20.0
+    assert sim.run(until=5.0) == 20.0  # no-op, clock untouched
+    assert sim.now == 20.0
+    sim.call_later(0.0, lambda: fired.append("b"))
+    sim.call_later(1.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 21.0
+
+
+def test_infinite_delay_fires_and_run_terminates(sim):
+    """A ``float('inf')`` deadline must fire (at t=inf) rather than
+    spin the refill loop forever."""
+    fired = []
+    sim.call_later(float("inf"), lambda: fired.append("end-of-time"))
+    sim.call_later(3.0, lambda: fired.append("soon"))
+    sim.run()
+    assert fired == ["soon", "end-of-time"]
+    assert sim.heap_size == 0
