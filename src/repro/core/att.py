@@ -87,6 +87,10 @@ class ActiveTransfersTable:
             raise SimulationError(f"ATT needs >= 1 entry: {entries}")
         self.capacity = entries
         self._entries: Dict[SabreId, AttEntry] = {}
+        #: Bound ``dict.get`` over the live-entry map: the R2P2's
+        #: per-request lookup fast path (one packet per cache block
+        #: lands here, so the method-dispatch hop is worth skipping).
+        self.lookup_fast = self._entries.get
         self._free_buffers: List[StreamBuffer] = [
             StreamBuffer(stream_buffer_depth) for _ in range(entries)
         ]
@@ -129,7 +133,7 @@ class ActiveTransfersTable:
         return entry
 
     def lookup(self, sabre_id: SabreId) -> Optional[AttEntry]:
-        return self._entries.get(sabre_id)
+        return self.lookup_fast(sabre_id)
 
     def free(self, entry: AttEntry) -> None:
         stored = self._entries.pop(entry.sabre_id, None)

@@ -30,6 +30,7 @@ from repro.common.config import NodeConfig, SabreMode
 from repro.common.errors import ProtocolError
 from repro.common.units import CACHE_BLOCK
 from repro.core.att import ActiveTransfersTable, AttEntry, SabreId
+from repro.core.stream_buffer import _BLOCK_MASK, _BLOCK_SHIFT
 from repro.fabric.packets import (
     Packet,
     PacketKind,
@@ -42,7 +43,7 @@ from repro.fabric.packets import (
 )
 from repro.mem.system import ChipMemorySystem, InvalidationCause
 from repro.objstore.layout import is_locked
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, block_mode
 from repro.sim.resources import BandwidthServer
 from repro.sim.stats import Counter
 
@@ -53,7 +54,7 @@ SendPacket = Callable[[Packet], None]
 class R2P2Engine:
     """One LightSABRes-enhanced R2P2 backend."""
 
-    __slots__ = ("sim", "cfg", "chip", "node_id", "index", "tile", "send_packet", "lock_table", "counters", "mode", "att", "_pending_registrations", "_pending_requests", "_cycle", "_block_cost", "issue_server", "reply_server", "_version_offset")
+    __slots__ = ("sim", "cfg", "chip", "node_id", "index", "tile", "send_packet", "lock_table", "counters", "mode", "att", "_pending_registrations", "_pending_requests", "_cycle", "_block_cost", "issue_server", "reply_server", "_version_offset", "_batched", "_att_lookup", "_issue_service", "_reply_service", "_phys")
 
     def __init__(
         self,
@@ -94,20 +95,31 @@ class R2P2Engine:
         self.issue_server = BandwidthServer(sim, 1.0, f"r2p2[{index}].issue")
         self.reply_server = BandwidthServer(sim, 1.0, f"r2p2[{index}].reply")
         self._version_offset = 0  # driver-registered header offset (§4.2)
+        self._batched = block_mode() == "batched"
+        self._att_lookup = self.att.lookup_fast
+        self._phys = chip.phys
+        # Per-block service times are loop invariants of the whole run:
+        # the divisions below reproduce BandwidthServer.request's
+        # arithmetic bit-for-bit.
+        self._issue_service = self._block_cost / self.issue_server.rate
+        self._reply_service = self._cycle / self.reply_server.rate
 
     # ------------------------------------------------------------------
     # packet entry point (called by the node's NI dispatch)
     # ------------------------------------------------------------------
     def handle_packet(self, pkt: Packet) -> None:
-        if pkt.kind is PacketKind.READ_REQUEST:
-            self._handle_read_request(pkt)
-        elif pkt.kind is PacketKind.SABRE_REGISTRATION:
-            self._handle_registration(pkt)
-        elif pkt.kind is PacketKind.SABRE_REQUEST:
+        # Ordered by arrival frequency: unrolled SABRe data requests
+        # dominate, then stateless reads.
+        kind = pkt.kind
+        if kind is PacketKind.SABRE_REQUEST:
             self._handle_sabre_request(pkt)
-        elif pkt.kind is PacketKind.WRITE_REQUEST:
+        elif kind is PacketKind.READ_REQUEST:
+            self._handle_read_request(pkt)
+        elif kind is PacketKind.SABRE_REGISTRATION:
+            self._handle_registration(pkt)
+        elif kind is PacketKind.WRITE_REQUEST:
             self._handle_write_request(pkt)
-        elif pkt.kind is PacketKind.CAS_REQUEST:
+        elif kind is PacketKind.CAS_REQUEST:
             self._handle_cas_request(pkt)
         else:
             raise ProtocolError(f"R2P2 cannot service {pkt.kind}")
@@ -221,7 +233,7 @@ class R2P2Engine:
 
     def _handle_sabre_request(self, pkt: Packet) -> None:
         sid: SabreId = (pkt.src_node, pkt.meta.get("rgp", 0), pkt.transfer_id)
-        entry = self.att.lookup(sid)
+        entry = self._att_lookup(sid)
         if entry is None:
             if any(
                 (p.src_node, p.meta.get("rgp", 0), p.transfer_id) == sid
@@ -246,11 +258,91 @@ class R2P2Engine:
     # unroll stage (§4.2): issue loads while conditions hold
     # ------------------------------------------------------------------
     def _pump(self, entry: AttEntry) -> None:
+        """Issue loads while conditions hold.
+
+        The batched kernel precomputes the whole issue run's timestamps
+        from the (private, serial) issue server in one pass and injects
+        them with one ``schedule_batch`` call; ``_may_issue`` stays the
+        single authority over issue eligibility and stall accounting, so
+        both block modes see the exact same decision sequence."""
         if entry.aborted or entry.finished:
             return
-        limit = min(entry.total_blocks, entry.req_counter)
-        while entry.issue_count < limit and self._may_issue(entry):
-            self._issue(entry, entry.issue_count)
+        total = entry.total_blocks
+        req = entry.req_counter
+        limit = total if total < req else req
+        if not self._batched:
+            while entry.issue_count < limit and self._may_issue(entry):
+                self._issue(entry, entry.issue_count)
+            return
+        offset = entry.issue_count
+        if offset >= limit or not self._may_issue(entry):
+            return
+        server = self.issue_server
+        mode = self.mode
+        spec = mode is SabreMode.SPECULATIVE
+        chip = self.chip
+        epoch = entry.epoch
+        service = self._issue_service
+
+        # First block inline — the common case is a single issue per
+        # arriving request packet, which must stay as cheap as the
+        # stepwise path it replaces.
+        addr = entry.base_addr + offset * CACHE_BLOCK
+        entry.issue_count = offset + 1
+        if (spec or mode is SabreMode.NO_SPECULATION) and (
+            (spec and entry.speculative) or offset == 0
+        ):
+            chip.subscribe(addr, entry.snoop_cb)
+            entry.subscribed_blocks.append(addr)
+        if spec and entry.speculative:
+            sb = entry.stream_buffer
+            if sb._base_block is not None and offset < sb._tracked:
+                sb._issued_bits |= 1 << offset
+        sim = self.sim
+        now = sim._now
+        next_free = server._next_free
+        if next_free < now:
+            next_free = now
+        next_free += service
+        server._next_free = next_free
+        server._busy_ns += service
+        server._bytes += self._block_cost
+        offset += 1
+        if offset >= limit or not self._may_issue(entry):
+            sim.call_at(next_free, self._start_read, entry, addr, offset - 1, epoch)
+            return
+
+        # Burst: precompute the rest of the run and bulk-inject it.
+        busy = server._busy_ns
+        nbytes = server._bytes
+        block_cost = self._block_cost
+        base = entry.base_addr
+        start_read = self._start_read
+        snoop_cb = entry.snoop_cb
+        entries = [(next_free, start_read, (entry, addr, offset - 1, epoch))]
+        while True:
+            addr = base + offset * CACHE_BLOCK
+            entry.issue_count = offset + 1
+            # Past offset 0 the subscribe condition collapses to the
+            # open-window case, which is also the stream-buffer case.
+            if spec and entry.speculative:
+                chip.subscribe(addr, snoop_cb)
+                entry.subscribed_blocks.append(addr)
+                sb = entry.stream_buffer
+                if sb._base_block is not None and offset < sb._tracked:
+                    sb._issued_bits |= 1 << offset
+            start = next_free if next_free > now else now
+            next_free = start + service
+            busy += service
+            nbytes += block_cost
+            entries.append((next_free, start_read, (entry, addr, offset, epoch)))
+            offset += 1
+            if offset >= limit or not self._may_issue(entry):
+                break
+        server._next_free = next_free
+        server._busy_ns = busy
+        server._bytes = nbytes
+        sim.schedule_batch(entries)
 
     def _may_issue(self, entry: AttEntry) -> bool:
         offset = entry.issue_count
@@ -315,9 +407,15 @@ class R2P2Engine:
             self._maybe_finish(entry)
             return
         entry.received_bits |= 1 << offset  # mark_received, inlined
-        entry.stream_buffer.mark_received(
-            entry.base_addr + offset * CACHE_BLOCK
-        )
+        # StreamBuffer.mark_received inlined (once per received block).
+        sb = entry.stream_buffer
+        base = sb._base_block
+        if base is not None:
+            delta = entry.base_addr + offset * CACHE_BLOCK - base
+            if delta >= 0 and not delta & _BLOCK_MASK:
+                slot = delta >> _BLOCK_SHIFT
+                if slot < sb._tracked:
+                    sb._received_bits |= 1 << slot
         if offset == 0 and self.mode is not SabreMode.LOCKING:
             epoch_before = entry.epoch
             self._consume_version(entry)
@@ -430,9 +528,56 @@ class R2P2Engine:
     def _flush_junk(self, entry: AttEntry) -> None:
         """Reply to received-but-never-issued requests after an abort so
         the one-reply-per-request flow-control invariant holds."""
-        limit = min(entry.total_blocks, entry.req_counter)
-        for offset in range(entry.issue_count, limit):
-            self._reply_data(entry, offset, junk=True)
+        total = entry.total_blocks
+        req = entry.req_counter
+        limit = total if total < req else req
+        first = entry.issue_count
+        if first >= limit:
+            return
+        if not self._batched:
+            for offset in range(first, limit):
+                self._reply_data(entry, offset, junk=True)
+            return
+        # Batched: one pass over the junk run, one schedule_batch.
+        sim = self.sim
+        now = sim._now
+        server = self.reply_server
+        next_free = server._next_free
+        busy = server._busy_ns
+        nbytes = server._bytes
+        cycle = self._cycle
+        service = self._reply_service
+        send = self.send_packet
+        src, _rgp, tid = entry.sabre_id
+        nid = self.node_id
+        size_bytes = entry.size_bytes
+        replied_bits = entry.replied_bits
+        entries = []
+        for offset in range(first, limit):
+            if replied_bits >> offset & 1:
+                continue
+            replied_bits |= 1 << offset
+            entry.replied_count += 1
+            size = size_bytes - offset * CACHE_BLOCK
+            if size > CACHE_BLOCK:
+                size = CACHE_BLOCK
+            elif size < 0:
+                size = 0
+            pkt = Packet(
+                PacketKind.SABRE_REPLY, nid, src, tid, offset,
+                size_bytes=size, payload=bytes(size),
+            )
+            start = next_free if next_free > now else now
+            next_free = start + service
+            busy += service
+            nbytes += cycle
+            entries.append((next_free, send, (pkt,)))
+        entry.replied_bits = replied_bits
+        if entries:
+            server._next_free = next_free
+            server._busy_ns = busy
+            server._bytes = nbytes
+            sim.schedule_batch(entries)
 
     # ------------------------------------------------------------------
     # reply path
@@ -452,9 +597,15 @@ class R2P2Engine:
         if junk:
             payload = bytes(size)
         else:
-            payload = self.chip.phys.read(
-                entry.base_addr + offset * CACHE_BLOCK, size
-            )
+            # PhysicalMemory.read's region fast path, inlined.
+            phys = self._phys
+            addr = entry.base_addr + offset * CACHE_BLOCK
+            base, end, buf = phys._last
+            if base <= addr and addr + size <= end:
+                off = addr - base
+                payload = bytes(buf[off : off + size])
+            else:
+                payload = phys.read(addr, size)
         src, _rgp, tid = entry.sabre_id
         pkt = Packet(
             PacketKind.SABRE_REPLY,
@@ -465,8 +616,19 @@ class R2P2Engine:
             size_bytes=size,
             payload=payload,
         )
-        t_reply = self.reply_server.request(self._cycle)
-        self.sim.call_at(t_reply, self.send_packet, pkt)
+        # reply_server.request inlined (once per transferred block).
+        server = self.reply_server
+        sim = self.sim
+        start = sim._now
+        next_free = server._next_free
+        if next_free > start:
+            start = next_free
+        service = self._reply_service
+        next_free = start + service
+        server._next_free = next_free
+        server._busy_ns += service
+        server._bytes += self._cycle
+        sim.call_at(next_free, self.send_packet, pkt)
 
     # ------------------------------------------------------------------
     # completion & validate stage (§4.2)

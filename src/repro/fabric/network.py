@@ -47,9 +47,22 @@ class Link:
         Returns the arrival time.
         """
         self.packets_sent += 1
-        wire = packet.wire_bytes(self._header_bytes)
-        arrival = self.server.request(wire, self._floor_ns)
-        self.sim.call_at(arrival, deliver, packet)
+        # BandwidthServer.request inlined (this runs once per packet on
+        # the wire and the call shows up in profiles).
+        server = self.server
+        sim = self.sim
+        wire = self._header_bytes + packet.size_bytes
+        start = sim._now
+        next_free = server._next_free
+        if next_free > start:
+            start = next_free
+        service = wire / server.rate
+        next_free = start + service
+        server._next_free = next_free
+        server._busy_ns += service
+        server._bytes += wire
+        arrival = next_free + self._floor_ns
+        sim.call_at(arrival, deliver, packet)
         return arrival
 
 
@@ -69,6 +82,11 @@ class Fabric:
         self.nodes = nodes
         self._links: Dict[tuple[int, int], Link] = {}
         self._handlers: Dict[int, PacketHandler] = {}
+        #: (src, dst) -> (link, dst handler, link server, header bytes,
+        #: floor ns): the resolved fast path for :meth:`send` with the
+        #: per-link constants pre-extracted, built lazily and dropped
+        #: when a handler changes.
+        self._routes: Dict[tuple[int, int], tuple] = {}
         self._alive = [True] * nodes
         self.packets_dropped = 0
 
@@ -77,6 +95,8 @@ class Fabric:
         if not 0 <= node_id < self.nodes:
             raise ConfigError(f"node {node_id} outside fabric of {self.nodes}")
         self._handlers[node_id] = handler
+        for key in [k for k in self._routes if k[1] == node_id]:
+            del self._routes[key]
 
     # ------------------------------------------------------------------
     # membership (the failover subsystem's lease view)
@@ -119,16 +139,41 @@ class Fabric:
         current time): a dead NI produces and accepts nothing, and
         failure handling happens at the endpoints (typed RPC failures,
         aborted transfers), never in the fabric."""
-        if not (self._alive[packet.src_node] and self._alive[packet.dst_node]):
+        src = packet.src_node
+        dst = packet.dst_node
+        alive = self._alive
+        if not (alive[src] and alive[dst]):
             self.packets_dropped += 1
-            return self.sim.now
-        handler = self._handlers.get(packet.dst_node)
-        if handler is None:
-            raise ConfigError(f"no handler attached for node {packet.dst_node}")
-        link = self._links.get((packet.src_node, packet.dst_node))
-        if link is None:
-            link = self.link(packet.src_node, packet.dst_node)
-        return link.send(packet, handler)
+            return self.sim._now
+        key = (src, dst)
+        route = self._routes.get(key)
+        if route is None:
+            handler = self._handlers.get(dst)
+            if handler is None:
+                raise ConfigError(f"no handler attached for node {dst}")
+            link = self._links.get(key)
+            if link is None:
+                link = self.link(src, dst)
+            route = (link, handler, link.server, link._header_bytes, link._floor_ns)
+            self._routes[key] = route
+        # Link.send inlined — this is the per-packet hot path and the
+        # extra method dispatch is measurable at fleet event rates.
+        link, deliver, server, header, floor = route
+        link.packets_sent += 1
+        sim = self.sim
+        wire = header + packet.size_bytes
+        start = sim._now
+        next_free = server._next_free
+        if next_free > start:
+            start = next_free
+        service = wire / server.rate
+        next_free = start + service
+        server._next_free = next_free
+        server._busy_ns += service
+        server._bytes += wire
+        arrival = next_free + floor
+        sim.call_at(arrival, deliver, packet)
+        return arrival
 
     def packets_on(self, src: int, dst: int) -> int:
         link = self._links.get((src, dst))

@@ -32,6 +32,30 @@ class PacketKind(Enum):
     CAS_REPLY = "cas_reply"
 
 
+#: NI routing classes, precomputed as plain member attributes so the
+#: per-packet dispatch (one of the hottest paths in the simulator) is an
+#: int compare instead of a frozenset probe through Enum.__hash__.
+ROUTE_REQUEST, ROUTE_REPLY, ROUTE_RPC = 0, 1, 2
+
+for _kind, _route, _rep in (
+    (PacketKind.READ_REQUEST, ROUTE_REQUEST, False),
+    (PacketKind.SABRE_REGISTRATION, ROUTE_REQUEST, False),
+    (PacketKind.SABRE_REQUEST, ROUTE_REQUEST, False),
+    (PacketKind.WRITE_REQUEST, ROUTE_REQUEST, False),
+    (PacketKind.CAS_REQUEST, ROUTE_REQUEST, False),
+    (PacketKind.READ_REPLY, ROUTE_REPLY, True),
+    (PacketKind.SABRE_REPLY, ROUTE_REPLY, True),
+    (PacketKind.SABRE_VALIDATION, ROUTE_REPLY, True),
+    (PacketKind.WRITE_ACK, ROUTE_REPLY, True),
+    (PacketKind.CAS_REPLY, ROUTE_REPLY, True),
+    (PacketKind.RPC_SEND, ROUTE_RPC, False),
+    (PacketKind.RPC_REPLY, ROUTE_RPC, True),
+):
+    _kind.route = _route
+    _kind.reply_kind = _rep
+del _kind, _route, _rep
+
+
 _packet_seq = itertools.count()
 
 
@@ -60,14 +84,7 @@ class Packet:
 
     @property
     def is_reply(self) -> bool:
-        return self.kind in (
-            PacketKind.READ_REPLY,
-            PacketKind.SABRE_REPLY,
-            PacketKind.SABRE_VALIDATION,
-            PacketKind.RPC_REPLY,
-            PacketKind.WRITE_ACK,
-            PacketKind.CAS_REPLY,
-        )
+        return self.kind.reply_kind
 
 
 def read_request(src: int, dst: int, transfer_id: int, block_offset: int) -> Packet:

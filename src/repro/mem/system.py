@@ -49,7 +49,7 @@ SnoopCallback = Callable[[int, InvalidationCause], None]
 class ChipMemorySystem:
     """Memory hierarchy of one 16-core chip (Table 2)."""
 
-    __slots__ = ("sim", "cfg", "mesh", "phys", "name", "llc", "_l1", "_owner", "dram", "_subs", "_l1_lat", "_llc_lat", "_block", "_mem_extra", "_llc_path", "_upgrade_path", "reads", "writes", "invalidations_sent")
+    __slots__ = ("sim", "cfg", "mesh", "phys", "name", "llc", "_l1", "_owner", "dram", "_subs", "_l1_lat", "_llc_lat", "_block", "_tiles", "_mem_extra", "_llc_path", "_upgrade_path", "reads", "writes", "invalidations_sent")
 
     def __init__(
         self,
@@ -82,6 +82,7 @@ class ChipMemorySystem:
         # Hot-path constants, hoisted out of the per-access attribute
         # chains (read_block/write_block run once per cache block moved).
         self._block = caches.block_bytes
+        self._tiles = mesh.tiles
         self._mem_extra = cfg.memory.latency_ns + cfg.memory.controller_overhead_ns
         #: (agent_tile, bank) -> composite LLC-hit latency.
         self._llc_path: Dict[tuple, float] = {}
@@ -130,7 +131,8 @@ class ChipMemorySystem:
         block = self._block
         mesh = self.mesh
         baddr = block_addr - (block_addr % block)
-        bank = mesh.llc_bank_tile(baddr)
+        # llc_bank_tile inlined (one call per modeled block read).
+        bank = (baddr // CACHE_BLOCK) % self._tiles
 
         owner = self._owner.get(baddr)
         if owner is not None:
@@ -149,7 +151,13 @@ class ChipMemorySystem:
             self._llc_insert(baddr, dirty=True)
             return t, AccessTier.L1
 
-        if self.llc.touch(baddr):
+        # LruCache.touch inlined — the LLC hit is the dominant outcome
+        # once a transfer is streaming.
+        llc = self.llc
+        blocks = llc._blocks
+        if baddr in blocks:
+            blocks.move_to_end(baddr)
+            llc.hits += 1
             # Composite LLC-hit latency memoized per (agent, bank):
             # request hop + tag latency + data return with payload.
             key = (agent_tile, bank)
@@ -162,6 +170,7 @@ class ChipMemorySystem:
                 )
                 self._llc_path[key] = lat
             return self.sim._now + lat, AccessTier.LLC
+        llc.misses += 1
         t = self.sim._now + mesh.latency_ns(agent_tile, bank)
 
         # LLC miss: go to memory through the block's home channel.

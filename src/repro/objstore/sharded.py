@@ -813,8 +813,13 @@ class ShardedKV:
             ws.fenced_rejects += 1
             return REPLY_FENCED, cfg.costs.writer_block_ns
 
+        # Version polls resolve the object's header address once and
+        # read it directly: the spin loop re-checks every LOCK_SPIN_NS
+        # and pays no per-poll handle lookup.
+        vaddr = store.version_addr(obj_id)
+        read_u64 = store.phys.read_u64
         spins = 0
-        while is_locked(store.current_version(obj_id)):
+        while is_locked(read_u64(vaddr)):
             if replicate and spins >= PUT_SPIN_LIMIT:
                 # Primary path only: give the worker back so whoever
                 # holds the lock can get its own RPC served (the client
@@ -828,7 +833,7 @@ class ShardedKV:
 
         # Same odd/even helpers the update plan uses internally, so the
         # payload stamp can never diverge from the header version.
-        committed = commit_version(lock_version(store.current_version(obj_id)))
+        committed = commit_version(lock_version(read_u64(vaddr)))
         data = stamped_payload(committed, cfg.payload_len)
         steps, _version = store.update_steps(obj_id, data)
         core = self.next_writer_core(shard)

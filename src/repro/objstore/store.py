@@ -159,9 +159,15 @@ class ObjectStore:
         image[vo : vo + VERSION_BYTES] = locked.to_bytes(8, "little")
 
         steps: List[WriteStep] = []
+        base = h.base_addr
+        # Slice through a memoryview: one copy per block step instead
+        # of bytearray-slice + bytes (the put path builds one plan per
+        # committed update).
+        mv = memoryview(image)
         for off in range(0, len(image), CACHE_BLOCK):
-            steps.append((h.base_addr + off, bytes(image[off : off + CACHE_BLOCK])))
-        steps.append((h.base_addr + vo, committed.to_bytes(8, "little")))
+            steps.append((base + off, bytes(mv[off : off + CACHE_BLOCK])))
+        mv.release()
+        steps.append((base + vo, committed.to_bytes(8, "little")))
         return steps, committed
 
     def commit_steps(

@@ -26,7 +26,37 @@ from typing import Optional, Sequence
 
 from repro.perf.bench import DEFAULT_ARTIFACT, run_suite
 from repro.perf.compare import DEFAULT_METRIC, DEFAULT_THRESHOLD, compare_files
-from repro.perf.scenarios import scenario_names
+from repro.perf.scenarios import SCENARIOS, scenario_names
+
+
+def profile_scenario(
+    name: str, scale: float = 0.5, top: int = 30, sort: str = "cumulative"
+) -> int:
+    """cProfile one scenario run and print the hottest functions.
+
+    The next hot-path hunt starts here instead of from scratch::
+
+        repro-perf profile ycsb_latency --scale 0.5 --top 30
+    """
+    import cProfile
+    import pstats
+
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        print(
+            f"unknown scenario {name!r}; "
+            f"registered: {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn(scale)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,8 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--repeats",
         type=int,
-        default=2,
-        help="wall-clock repeats per scenario; the fastest is kept",
+        default=3,
+        help=(
+            "wall-clock repeats per scenario; the fastest is kept "
+            "(event counts are deterministic, wall time is not — "
+            "best-of-3 rides out background load on shared hosts)"
+        ),
     )
     run_p.add_argument(
         "--engine",
@@ -94,6 +128,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report regressions but exit 0 (PR builds)",
     )
 
+    prof_p = sub.add_parser(
+        "profile",
+        help="cProfile one scenario and dump the hottest functions",
+    )
+    prof_p.add_argument("scenario", help="scenario to profile")
+    prof_p.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="measurement-window scale factor (default 0.5: profiling "
+        "overhead makes full-scale runs needlessly slow)",
+    )
+    prof_p.add_argument(
+        "--top",
+        type=int,
+        default=30,
+        help="number of functions to print (default 30)",
+    )
+    prof_p.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "ncalls"),
+        default="cumulative",
+        help="pstats sort key (default cumulative)",
+    )
+
     ls_p = sub.add_parser("list", help="list registered perf scenarios")
     del ls_p
     return parser
@@ -131,6 +190,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"{name:<24} vs {result.reference['path']}: {shown}")
         print(f"wrote {args.json_out}")
         return 0
+
+    if args.command == "profile":
+        return profile_scenario(
+            args.scenario, scale=args.scale, top=args.top, sort=args.sort
+        )
 
     if args.command == "compare":
         result = compare_files(

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 import os
-from bisect import insort
+from bisect import bisect_right, insort
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -212,6 +212,26 @@ _COMPACT_MIN_CANCELLED = 64
 #: Env var selecting the default scheduler implementation.
 SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
 
+#: Env var selecting the block-stream kernel: ``batched`` (default)
+#: schedules whole runs of per-block callbacks through
+#: :meth:`Simulator.schedule_batch`; ``stepwise`` keeps the original
+#: one-``call_at``-per-block path as the determinism reference (the
+#: same pattern as the heap-vs-calendar scheduler switch).
+BLOCKS_ENV = "REPRO_SIM_BLOCKS"
+
+
+def block_mode() -> str:
+    """The configured block-stream mode: ``batched`` or ``stepwise``.
+
+    Read once at component construction (nodes, R2P2 engines), so a
+    simulation never changes mode mid-flight."""
+    mode = os.environ.get(BLOCKS_ENV, "batched")
+    if mode not in ("batched", "stepwise"):
+        raise SimulationError(
+            f"unknown block mode {mode!r}; use 'batched' or 'stepwise'"
+        )
+    return mode
+
 #: Calendar tuning: starting near-window width (ns) and the refill
 #: batch sizes that widen/narrow it.  Pure throughput knobs — the
 #: dispatch order is (time, seq) regardless, so these never affect
@@ -263,6 +283,7 @@ class Simulator:
         "_cancelled",
         "compactions",
         "events_fired",
+        "events_cancelled",
         "_imm",
         "_near",
         "_far",
@@ -288,6 +309,11 @@ class Simulator:
         self._cancelled = 0
         self.compactions = 0
         self.events_fired = 0
+        #: Monotonic count of :meth:`cancel_call` cancellations — unlike
+        #: ``_cancelled`` (pending tombstones) this never decreases, so
+        #: the perf harness can explain ``events_scheduled`` vs
+        #: ``events_fired`` divergence in cancellation-heavy scenarios.
+        self.events_cancelled = 0
         self._imm: deque[ScheduledCall] = deque()
         self._near: list[ScheduledCall] = []
         self._far: list[ScheduledCall] = []
@@ -378,6 +404,89 @@ class Simulator:
         self._imm.append(entry)
         return entry
 
+    def schedule_batch(self, entries: list) -> list:
+        """Bulk-inject a run of ``(when, fn, args)`` callbacks.
+
+        Exactly equivalent to issuing one :meth:`call_at` per entry, in
+        order, from the current callback — same time normalization,
+        same consecutive sequence numbers, same lane placement — minus
+        the per-call overhead.  This is the batched block-stream
+        kernel's primitive: a transfer's unroll or issue burst computes
+        its per-block timestamps in one pass (they are presorted and
+        consecutive by construction) and lands here as one injection.
+
+        Returns the scheduled-call handles, in entry order.
+        """
+        now = self._now
+        seq = self._seq
+        imm = self._imm
+        near = self._near
+        far = self._far
+        horizon = self._horizon
+        handles = []
+        append_handle = handles.append
+        n = len(entries)
+        i = 0
+        while i < n:
+            when, fn, args = entries[i]
+            if when < now:
+                self._seq = seq
+                raise SimulationError(f"cannot schedule in the past: {when}")
+            # Same arithmetic as call_later (now + (when - now)): every
+            # entry point must produce bit-identical times.
+            when = now + (when - now)
+            seq += 1
+            i += 1
+            if when == now:
+                entry: ScheduledCall = [when, seq, fn, args]
+                imm.append(entry)
+                append_handle(entry)
+                continue
+            if when >= horizon:
+                entry = [when, seq, fn, args]
+                far.append(entry)
+                append_handle(entry)
+                continue
+            entry = [-when, -seq, fn, args]
+            if not near or entry > near[-1]:
+                near.append(entry)
+                append_handle(entry)
+                continue
+            # Sorted-run splice: batch entries are presorted by (when,
+            # seq), so in the near lane's negated keys each subsequent
+            # entry sorts at or before this one's insertion point.  As
+            # long as they stay *inside the same gap* between existing
+            # entries, the whole run goes in with one list splice
+            # instead of one insort (bisect + memmove) per entry.  The
+            # lane contents end up identical to sequential insorts.
+            pos = bisect_right(near, entry)
+            lower = near[pos - 1] if pos else None
+            run = [entry]
+            append_handle(entry)
+            while i < n:
+                when2, fn2, args2 = entries[i]
+                if when2 < now:
+                    near[pos:pos] = run[::-1]
+                    self._seq = seq
+                    raise SimulationError(
+                        f"cannot schedule in the past: {when2}"
+                    )
+                when2 = now + (when2 - now)
+                if when2 == now or when2 >= horizon:
+                    break
+                e2: ScheduledCall = [-when2, -(seq + 1), fn2, args2]
+                if not e2 < run[-1]:
+                    break  # out-of-order input: general path re-handles it
+                if lower is not None and not e2 > lower:
+                    break  # leaves the gap: general path re-handles it
+                seq += 1
+                i += 1
+                run.append(e2)
+                append_handle(e2)
+            near[pos:pos] = run[::-1]
+        self._seq = seq
+        return handles
+
     def cancel_call(self, handle: ScheduledCall) -> None:
         """Cancel a scheduled callback (no-op if it already ran or was
         already cancelled).  Cancelled entries are reaped lazily; once
@@ -388,6 +497,7 @@ class Simulator:
             return
         handle[2] = None
         self._cancelled += 1
+        self.events_cancelled += 1
         if (
             self._cancelled >= _COMPACT_MIN_CANCELLED
             and self._cancelled * 2 >= self.heap_size
@@ -614,6 +724,22 @@ class _HeapSimulator(Simulator):
         self, fn: Callable[..., None], *args: Any
     ) -> ScheduledCall:
         return self.call_later(0.0, fn, *args)
+
+    def schedule_batch(self, entries: list) -> list:
+        """Reference implementation: one heap push per entry, with the
+        exact time normalization and sequence numbering of
+        :meth:`call_at`."""
+        handles = []
+        now = self._now
+        heap = self._heap
+        for when, fn, args in entries:
+            if when < now:
+                raise SimulationError(f"cannot schedule in the past: {when}")
+            self._seq += 1
+            entry: ScheduledCall = [now + (when - now), self._seq, fn, args]
+            heapq.heappush(heap, entry)
+            handles.append(entry)
+        return handles
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify, in place (the run

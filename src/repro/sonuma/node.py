@@ -31,7 +31,7 @@ from repro.fabric.packets import (
 from repro.mem.backing import PhysicalMemory
 from repro.mem.system import ChipMemorySystem
 from repro.noc.mesh import Mesh
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Simulator, block_mode
 from repro.sim.resources import BandwidthServer
 from repro.sim.stats import Counter
 from repro.sonuma.transfer import (
@@ -47,32 +47,15 @@ from repro.sonuma.transfer import (
 #: no packet ever leaves the node).
 CRASH_NOTICE_NS = 40.0
 
-#: NI dispatch tables (frozensets: one hash probe per packet).
-_REQUEST_KINDS = frozenset(
-    (
-        PacketKind.READ_REQUEST,
-        PacketKind.SABRE_REGISTRATION,
-        PacketKind.SABRE_REQUEST,
-        PacketKind.WRITE_REQUEST,
-        PacketKind.CAS_REQUEST,
-    )
-)
-_REPLY_KINDS = frozenset(
-    (
-        PacketKind.READ_REPLY,
-        PacketKind.SABRE_REPLY,
-        PacketKind.SABRE_VALIDATION,
-        PacketKind.WRITE_ACK,
-        PacketKind.CAS_REPLY,
-    )
-)
-_RPC_KINDS = frozenset((PacketKind.RPC_SEND, PacketKind.RPC_REPLY))
+#: NI dispatch uses the precomputed ``PacketKind.route`` ints (see
+#: :mod:`repro.fabric.packets`) instead of frozenset probes through
+#: ``Enum.__hash__`` — dispatch is one of the hottest paths here.
 
 
 class SoNode:
     """One rack node: chip + memory + RMC + NI."""
 
-    __slots__ = ("sim", "node_id", "cfg", "cluster_cfg", "fabric", "mesh", "phys", "chip", "counters", "lock_table", "r2p2s", "_tid", "_transfers", "_completions", "_aborted", "_rgp", "_rcp", "_rmc_cycle", "_rpc_handler")
+    __slots__ = ("sim", "node_id", "cfg", "cluster_cfg", "fabric", "mesh", "phys", "chip", "counters", "lock_table", "r2p2s", "_tid", "_transfers", "_completions", "_aborted", "_rgp", "_rcp", "_rmc_cycle", "_rcp_service", "_rpc_handler", "_alive_vec", "_batched")
 
     def __init__(
         self,
@@ -103,6 +86,8 @@ class SoNode:
                 node_id,
                 index=i,
                 tile=self.mesh.rmc_tile(i),
+                # Late-binding on purpose: instrumentation (and tests)
+                # may wrap fabric.send after construction.
                 send_packet=self._send,
                 lock_table=self.lock_table,
                 counters=self.counters,
@@ -119,6 +104,9 @@ class SoNode:
             for i in range(backends)
         ]
         self._rmc_cycle = cycle
+        # Reply pipeline service time, hoisted (same division
+        # BandwidthServer.request would perform, bit-for-bit).
+        self._rcp_service = cycle / self._rcp[0].rate
         self._transfers: Dict[int, SourceTransfer] = {}
         self._completions: Dict[int, Event] = {}
         #: Transfer id -> abort time, for transfers failed by
@@ -130,6 +118,11 @@ class SoNode:
         self._aborted: Dict[int, float] = {}
         self._tid = itertools.count(node_id << 32)
         self._rpc_handler = None
+        # The fabric's aliveness vector mutates in place, so holding a
+        # direct reference keeps the per-packet dead-NI check one list
+        # index instead of two attribute hops and a method call.
+        self._alive_vec = fabric._alive
+        self._batched = block_mode() == "batched"
         fabric.attach(node_id, self._handle_packet)
 
     @property
@@ -290,6 +283,116 @@ class SoNode:
     # RGP: source unrolling (§5)
     # ------------------------------------------------------------------
     def _unroll(self, transfer: SourceTransfer) -> None:
+        """Unroll one WQ entry into its registration/request packets.
+
+        The batched kernel computes the whole run's send timestamps in
+        one pass — the RGP is a private serial server, so its
+        per-request completion times are pure arithmetic — and injects
+        them with one :meth:`~repro.sim.engine.Simulator.schedule_batch`
+        call.  ``REPRO_SIM_BLOCKS=stepwise`` keeps the original
+        one-``call_at``-per-block reference path."""
+        if not self._batched:
+            return self._unroll_stepwise(transfer)
+        sim = self.sim
+        now = sim._now
+        transfer.timings.pickup = now
+        rgp = self._rgp[transfer.backend]
+        dest_backends = self.cfg.rmc.backends
+        sabre = self.cfg.sabre
+        send = self.fabric.send
+        tid = transfer.transfer_id
+        dst = transfer.dst_node
+        op = transfer.op
+        # Serial-server bookkeeping inlined: the same float operations
+        # BandwidthServer.request performs, applied run-at-once.
+        rate = rgp.rate
+        next_free = rgp._next_free
+        busy = rgp._busy_ns
+        nbytes = rgp._bytes
+        entries = []
+
+        if op is OpKind.SABRE:
+            r2p2 = tid % dest_backends
+            reg = sabre_registration(self.node_id, dst, tid, transfer.total_blocks)
+            reg.meta.update(
+                addr=transfer.remote_addr,
+                size=transfer.size_bytes,
+                r2p2=r2p2,
+                rgp=transfer.backend,
+            )
+            start = next_free if next_free > now else now
+            service = self._rmc_cycle / rate
+            next_free = start + service
+            busy += service
+            nbytes += self._rmc_cycle
+            entries.append((next_free, send, (reg,)))
+            # Pinned SABRes share one immutable meta dict across the
+            # whole request run (nobody mutates request meta).
+            shared_meta = (
+                {"r2p2": r2p2, "rgp": transfer.backend}
+                if sabre.pin_to_single_r2p2
+                else None
+            )
+
+        req_cost = self._rmc_cycle * self.cfg.rmc.rgp_request_cycles
+        service = req_cost / rate
+        for offset in range(transfer.total_blocks):
+            if op is OpKind.SABRE:
+                meta = shared_meta
+                if meta is None:
+                    meta = {
+                        "r2p2": offset % dest_backends,
+                        "rgp": transfer.backend,
+                    }
+                pkt = Packet(
+                    PacketKind.SABRE_REQUEST, self.node_id, dst, tid,
+                    offset, size_bytes=8, meta=meta,
+                )
+            elif op is OpKind.REMOTE_WRITE:
+                addr = transfer.remote_addr + offset * CACHE_BLOCK
+                lo = offset * CACHE_BLOCK
+                hi = min(len(transfer.payload), lo + CACHE_BLOCK)
+                payload = transfer.payload[lo:hi]
+                pkt = Packet(
+                    PacketKind.WRITE_REQUEST, self.node_id, dst, tid,
+                    offset,
+                    size_bytes=len(payload) + 8,
+                    payload=payload,
+                    meta={
+                        "addr": addr,
+                        "r2p2": (addr // CACHE_BLOCK) % dest_backends,
+                    },
+                )
+            else:
+                addr = transfer.remote_addr + offset * CACHE_BLOCK
+                pkt = Packet(
+                    PacketKind.READ_REQUEST, self.node_id, dst, tid,
+                    offset,
+                    size_bytes=8,
+                    meta={
+                        "addr": addr,
+                        "size": self._payload_size(transfer, offset),
+                        # Remote reads balance across R2P2s per block
+                        # (§7.1): steer by block *address*.
+                        "r2p2": (addr // CACHE_BLOCK) % dest_backends,
+                    },
+                )
+            start = next_free if next_free > now else now
+            next_free = start + service
+            busy += service
+            nbytes += req_cost
+            if offset == 0:
+                transfer.timings.first_request = (
+                    next_free if next_free > now else now
+                )
+            entries.append((next_free, send, (pkt,)))
+
+        rgp._next_free = next_free
+        rgp._busy_ns = busy
+        rgp._bytes = nbytes
+        sim.schedule_batch(entries)
+
+    def _unroll_stepwise(self, transfer: SourceTransfer) -> None:
         transfer.timings.pickup = self.sim.now
         rgp = self._rgp[transfer.backend]
         dest_backends = self.cfg.rmc.backends
@@ -366,21 +469,27 @@ class SoNode:
         self.fabric.send(pkt)
 
     def _handle_packet(self, pkt: Packet) -> None:
-        if not self.alive:
+        if not self._alive_vec[self.node_id]:
             # Dead NI: packets that were already in flight when the
             # node crashed arrive at nothing and vanish.
             return
         kind = pkt.kind
-        if kind in _REQUEST_KINDS:
-            self.r2p2s[pkt.meta.get("r2p2", 0)].handle_packet(pkt)
-        elif kind in _REPLY_KINDS:
+        if kind is PacketKind.SABRE_REQUEST:
+            # Most frequent kind: skip both dispatch tables.
+            self.r2p2s[pkt.meta.get("r2p2", 0)]._handle_sabre_request(pkt)
+            return
+        if kind is PacketKind.SABRE_REPLY:
             self._on_reply(pkt)
-        elif kind in _RPC_KINDS:
+            return
+        route = kind.route
+        if route == 0:  # ROUTE_REQUEST
+            self.r2p2s[pkt.meta.get("r2p2", 0)].handle_packet(pkt)
+        elif route == 1:  # ROUTE_REPLY
+            self._on_reply(pkt)
+        else:  # ROUTE_RPC
             if self._rpc_handler is None:
                 raise ProtocolError(f"node {self.node_id} has no RPC endpoint")
             self._rpc_handler(pkt)
-        else:
-            raise ProtocolError(f"unroutable packet kind {pkt.kind}")
 
     def attach_rpc(self, handler) -> None:
         self._rpc_handler = handler
@@ -398,35 +507,57 @@ class SoNode:
             raise ProtocolError(
                 f"reply for unknown/completed transfer {pkt.transfer_id}"
             )
+        # BandwidthServer.request inlined (once per reply packet).
         rcp = self._rcp[transfer.backend]
-        t = rcp.request(self._rmc_cycle)
-        self.sim.call_at(t, self._process_reply, transfer, pkt)
+        sim = self.sim
+        start = sim._now
+        next_free = rcp._next_free
+        if next_free > start:
+            start = next_free
+        service = self._rcp_service
+        next_free = start + service
+        rcp._next_free = next_free
+        rcp._busy_ns += service
+        rcp._bytes += self._rmc_cycle
+        sim.call_at(next_free, self._process_reply, transfer, pkt)
 
     def _process_reply(self, transfer: SourceTransfer, pkt: Packet) -> None:
         if transfer.completed:
             # Crash-aborted while this reply sat in the RCP pipeline:
             # the CQ entry already failed, drop the reply.
             return
-        if pkt.kind is PacketKind.SABRE_VALIDATION:
+        kind = pkt.kind
+        if kind is PacketKind.SABRE_REPLY or kind is PacketKind.READ_REPLY:
+            # Hot path first: the unrolled data replies.
+            payload = pkt.payload
+            if payload is not None and pkt.size_bytes:
+                # PhysicalMemory.write's region fast path, inlined.
+                phys = self.phys
+                addr = transfer.local_addr + pkt.block_offset * CACHE_BLOCK
+                size = len(payload)
+                base, end, buf = phys._last
+                if base <= addr and addr + size <= end:
+                    off = addr - base
+                    buf[off : off + size] = payload
+                else:
+                    phys.write(addr, payload)
+            transfer.replies_received += 1
+            transfer.timings.last_reply = self.sim._now
+        elif kind is PacketKind.SABRE_VALIDATION:
             transfer.validation = pkt.meta["success"]
             transfer.remote_version = pkt.meta.get("version")
-        elif pkt.kind is PacketKind.CAS_REPLY:
+        elif kind is PacketKind.CAS_REPLY:
             transfer.cas_old_value = pkt.meta["old_value"]
             transfer.cas_swapped = pkt.meta["swapped"]
             transfer.replies_received += 1
-            transfer.timings.last_reply = self.sim.now
-        elif pkt.kind is PacketKind.WRITE_ACK:
+            transfer.timings.last_reply = self.sim._now
+        else:  # WRITE_ACK
             transfer.replies_received += 1
-            transfer.timings.last_reply = self.sim.now
-        else:
-            if pkt.payload is not None and pkt.size_bytes:
-                self.phys.write(
-                    transfer.local_addr + pkt.block_offset * CACHE_BLOCK,
-                    pkt.payload,
-                )
-            transfer.replies_received += 1
-            transfer.timings.last_reply = self.sim.now
-        if transfer.done:
+            transfer.timings.last_reply = self.sim._now
+        # transfer.done inlined (property call per reply adds up).
+        if transfer.replies_received >= transfer.total_blocks and (
+            transfer.op is not OpKind.SABRE or transfer.validation is not None
+        ):
             self._complete(transfer)
 
     def _complete(self, transfer: SourceTransfer) -> None:

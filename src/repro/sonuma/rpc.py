@@ -54,6 +54,14 @@ class RpcEndpoint:
         self._failed: Dict[int, float] = {}
         self._workers = FifoResource(self.sim, capacity=workers)
         self._rpc_id = itertools.count(node.node_id << 48)
+        # Per-call constants, hoisted off the costs object (one RPC may
+        # fan out to thousands of calls in the write-heavy scenarios).
+        self._dispatch_ns = costs.rpc_dispatch_ns
+        self._marshal_per_byte = costs.rpc_marshal_ns_per_byte
+        #: name -> shared ``{"name": name}`` meta dict.  RPC packet meta
+        #: is read-only downstream, so every call to the same handler
+        #: can carry the same dict instead of allocating one per call.
+        self._name_meta: Dict[str, Dict[str, str]] = {}
         self.served = 0
         self.failed_calls = 0
         self.timed_out_calls = 0
@@ -89,13 +97,13 @@ class RpcEndpoint:
             # drops dead-source packets, so no reply can ever arrive).
             self.failed_calls += 1
             self.sim.call_later(
-                self.costs.rpc_dispatch_ns,
+                self._dispatch_ns,
                 lambda: completion.succeed(
                     ShardCrashedError(dst_node, f"rpc {name!r} not sent")
                 ),
             )
             return completion
-        marshal = self.costs.rpc_marshal_ns_per_byte * len(payload)
+        marshal = self._marshal_per_byte * len(payload)
         watchdog = None
         if timeout_ns is not None:
             watchdog = self.sim.call_later(
@@ -103,6 +111,9 @@ class RpcEndpoint:
                 lambda: self._expire(rpc_id, dst_node, timeout_ns),
             )
         self._pending[rpc_id] = (completion, dst_node, watchdog)
+        meta = self._name_meta.get(name)
+        if meta is None:
+            meta = self._name_meta[name] = {"name": name}
         pkt = Packet(
             PacketKind.RPC_SEND,
             self.node.node_id,
@@ -110,7 +121,7 @@ class RpcEndpoint:
             transfer_id=rpc_id,
             size_bytes=len(payload),
             payload=payload,
-            meta={"name": name},
+            meta=meta,
         )
         self.sim.call_later(marshal, self.node.fabric.send, pkt)
         return completion
@@ -205,13 +216,15 @@ class RpcEndpoint:
         Generator handlers are driven by the same minimal trampoline
         (:meth:`_drive`), one callback per yielded event.
         """
-        handler = self._handlers.get(pkt.meta["name"])
+        name = pkt.meta["name"]
+        handler = self._handlers.get(name)
         if handler is None:
-            raise ProtocolError(f"no RPC handler named {pkt.meta['name']!r}")
+            raise ProtocolError(f"no RPC handler named {name!r}")
         sim = self.sim
+        dispatch_ns = self._dispatch_ns
 
         def granted(_ev: Event) -> None:
-            sim.call_later(self.costs.rpc_dispatch_ns, run)
+            sim.call_later(dispatch_ns, run)
 
         def run() -> None:
             try:
