@@ -43,3 +43,21 @@ class ShardCrashedError(ReproError):
         suffix = f": {detail}" if detail else ""
         super().__init__(f"node {node_id} crashed{suffix}")
         self.node_id = node_id
+
+
+class LinkPartitionedError(ShardCrashedError):
+    """An operation could not start because a partition window severs
+    the link to its destination.
+
+    A subclass of :class:`ShardCrashedError` on purpose: to the caller a
+    partitioned shard is indistinguishable from a crashed one (FLP says
+    so), and every redirect/abort/fallback path that handles the crash
+    error must handle this one identically.  Like its parent it is a
+    *value* on completion events, never raised.  Conversations already
+    in flight when the window opens are allowed to drain — the fabric
+    is lossless — so only *new* calls and posts see this error.
+    """
+
+    def __init__(self, src_node: int, dst_node: int, detail: str = ""):
+        super().__init__(dst_node, detail or "link partitioned")
+        self.src_node = src_node

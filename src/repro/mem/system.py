@@ -49,7 +49,7 @@ SnoopCallback = Callable[[int, InvalidationCause], None]
 class ChipMemorySystem:
     """Memory hierarchy of one 16-core chip (Table 2)."""
 
-    __slots__ = ("sim", "cfg", "mesh", "phys", "name", "llc", "_l1", "_owner", "dram", "_subs", "_l1_lat", "_llc_lat", "_block", "_tiles", "_mem_extra", "_llc_path", "_upgrade_path", "reads", "writes", "invalidations_sent")
+    __slots__ = ("sim", "cfg", "mesh", "phys", "name", "llc", "_l1", "_owner", "dram", "_subs", "_l1_lat", "_llc_lat", "_block", "_tiles", "_mem_extra", "_llc_path", "_upgrade_path", "reads", "writes", "invalidations_sent", "_svc_mult", "_svc_slow")
 
     def __init__(
         self,
@@ -91,6 +91,20 @@ class ChipMemorySystem:
         self.reads = 0
         self.writes = 0
         self.invalidations_sent = 0
+        # Gray-failure dial: scales every access latency served here.
+        # The boolean gate keeps the healthy fast path at one flag test.
+        self._svc_mult = 1.0
+        self._svc_slow = False
+
+    def set_service_multiplier(self, multiplier: float) -> None:
+        """Scale all access latencies by ``multiplier`` (>= 1) — the
+        fault injector's gray-failure hook.  1.0 restores full speed."""
+        if multiplier < 1.0:
+            raise ValueError(
+                f"service multiplier must be >= 1, got {multiplier}"
+            )
+        self._svc_mult = multiplier
+        self._svc_slow = multiplier != 1.0
 
     # ------------------------------------------------------------------
     # snooping
@@ -149,6 +163,9 @@ class ChipMemorySystem:
                 l1.mark_clean(baddr)
             del self._owner[baddr]
             self._llc_insert(baddr, dirty=True)
+            if self._svc_slow:
+                now = self.sim._now
+                t = now + (t - now) * self._svc_mult
             return t, AccessTier.L1
 
         # LruCache.touch inlined — the LLC hit is the dominant outcome
@@ -169,6 +186,8 @@ class ChipMemorySystem:
                     + mesh.latency_ns(bank, agent_tile, block)
                 )
                 self._llc_path[key] = lat
+            if self._svc_slow:
+                lat = lat * self._svc_mult
             return self.sim._now + lat, AccessTier.LLC
         llc.misses += 1
         t = self.sim._now + mesh.latency_ns(agent_tile, bank)
@@ -185,6 +204,9 @@ class ChipMemorySystem:
         t += mesh.latency_ns(mc_tile, agent_tile, block)
         if allocate:
             self._llc_insert(baddr, dirty=False)
+        if self._svc_slow:
+            now = self.sim._now
+            t = now + (t - now) * self._svc_mult
         return t, AccessTier.MEM
 
     def read_bytes(self, addr: int, size: int) -> bytes:
@@ -253,6 +275,8 @@ class ChipMemorySystem:
         self._owner[baddr] = core
         if self._subs:
             self._notify(baddr, InvalidationCause.WRITE)
+        if self._svc_slow:
+            latency = latency * self._svc_mult
         return latency
 
     def write_bytes(self, core: int, addr: int, data: bytes) -> float:

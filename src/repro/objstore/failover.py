@@ -292,22 +292,49 @@ class FailoverManager:
         if shard in self.down or not kv.serving[shard]:
             raise ConfigError(f"shard {shard} is already down")
         node_id = kv.shards[shard].node_id
-        kv.cluster.fabric.set_alive(node_id, False)
+        fabric = kv.cluster.fabric
+        sim = kv.cluster.sim
+        fabric.set_alive(node_id, False)
 
         # Fail everything in flight *before* mutating the view, so the
         # typed errors observe the epoch their requests were issued in.
         # The crashed shard's own outbound calls (replication fan-out)
         # can never resolve either — replies would land on its dead NI.
+        # An observer with a skewed clock learns of the crash that much
+        # later: its notification is deferred by its skew (the common
+        # skew-free case stays synchronous, preserving event ordering).
         for endpoint in kv.all_endpoints():
-            self.stats.failed_rpcs += endpoint.fail_pending_to(node_id)
+            skew = fabric.clock_skew_ns(endpoint.node.node_id)
+            if skew > 0.0:
+                sim.call_later(skew, self._late_fail_rpcs, endpoint, node_id)
+            else:
+                self.stats.failed_rpcs += endpoint.fail_pending_to(node_id)
         self.stats.failed_rpcs += kv.shard_rpc(shard).fail_all_pending()
         for node in kv.cluster.nodes:
-            self.stats.failed_transfers += node.fail_transfers_to(node_id)
+            skew = fabric.clock_skew_ns(node.node_id)
+            if skew > 0.0 and node.node_id != node_id:
+                sim.call_later(
+                    skew, self._late_fail_transfers, node, node_id
+                )
+            else:
+                self.stats.failed_transfers += node.fail_transfers_to(node_id)
 
         self.stats.promotions += kv.mark_down(shard)
         self.stats.crashes += 1
         self.down.add(shard)
         self.events.append((kv.cluster.sim.now, "crash", shard))
+
+    def _late_fail_rpcs(self, endpoint, node_id: int) -> None:
+        """A skewed observer's deferred crash notification (RPC side).
+        The target may have recovered inside the skew window — pending
+        calls to a once-again-live node are left alone; their replies
+        arrive or their watchdogs handle it."""
+        if not self.kv.cluster.fabric.alive(node_id):
+            self.stats.failed_rpcs += endpoint.fail_pending_to(node_id)
+
+    def _late_fail_transfers(self, node, node_id: int) -> None:
+        if not self.kv.cluster.fabric.alive(node_id):
+            self.stats.failed_transfers += node.fail_transfers_to(node_id)
 
     def recover(self, shard: int) -> None:
         """Bring ``shard``'s NI back and start its timed re-sync; the

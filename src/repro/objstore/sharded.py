@@ -744,6 +744,12 @@ class ShardedKV:
                     continue  # the handler counted it; view re-read above
                 ws.write_retries += 1
                 bounces += 1
+                if sim.now >= t_end:
+                    # Busy-bounce backstop: past the deadline a put must
+                    # not keep hammering a lock it may never win (e.g.
+                    # one held across a partition window) — the caller
+                    # observes the same ``None`` a total outage yields.
+                    return None
                 if backoff_rng is None:
                     backoff_rng = make_rng(self.cfg.seed, "put-backoff", put_seq)
                 # Exponent clamped: past the cap more doubling only

@@ -54,7 +54,11 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigError, ShardCrashedError
+from repro.common.errors import (
+    ConfigError,
+    LinkPartitionedError,
+    ShardCrashedError,
+)
 from repro.objstore.layout import (
     commit_version,
     is_locked,
@@ -77,6 +81,11 @@ from repro.objstore.sharded import (
 _OK = REPLY_OK
 _FAIL = REPLY_BUSY
 _FENCED = REPLY_FENCED
+
+#: Poll interval for a lock release refused by a partition window (a
+#: lock on a live-but-unreachable shard must not leak; see
+#: :meth:`TxnSession._release`).
+RELEASE_RETRY_NS = 1_000.0
 
 
 def _encode_u64s(values: Sequence[int]) -> bytes:
@@ -109,6 +118,10 @@ class TxnStats:
     validate_rpcs: int = 0
     commit_rpcs: int = 0
     release_rpcs: int = 0
+    #: Release RPCs re-sent because a partition window refused them:
+    #: locks on a *live* shard must never leak, so the abort path
+    #: polls until the link heals (or the shard actually crashes).
+    release_retries: int = 0
     #: Attempts force-aborted because a shard crashed (typed RPC
     #: failure) or fenced the attempt after a view change — the
     #: distinct abort reason failover injects, separate from the
@@ -139,6 +152,7 @@ class TxnStats:
         self.validate_rpcs += other.validate_rpcs
         self.commit_rpcs += other.commit_rpcs
         self.release_rpcs += other.release_rpcs
+        self.release_retries += other.release_retries
         self.crash_aborts += other.crash_aborts
         self.fenced_locks += other.fenced_locks
         self.partial_commits += other.partial_commits
@@ -154,6 +168,7 @@ class TxnStats:
             "validate_rpcs": self.validate_rpcs,
             "commit_rpcs": self.commit_rpcs,
             "release_rpcs": self.release_rpcs,
+            "release_retries": self.release_retries,
             "crash_aborts": self.crash_aborts,
             "fenced_locks": self.fenced_locks,
             "partial_commits": self.partial_commits,
@@ -647,18 +662,32 @@ class TxnSession:
     def _release(self, locked, token: int):
         """Roll back every acquired lock (abort path).  A crashed
         shard's typed failure is ignored: its locks die with it and
-        re-sync restores committed (even-version) images."""
+        re-sync restores committed (even-version) images.  A
+        *partition* refusal is different — the shard is alive and its
+        lock table intact, so abandoning the release would leak the
+        lock forever (every writer of the object would spin on it).
+        The release polls until the link heals: the lock stays held for
+        the window (writers back off, which is what a real partition
+        does) and clears the moment the conversation can flow again."""
+        sim = self.kv.cluster.sim
         for shard, ids, pre_versions in locked:
             pairs: List[int] = []
             for obj, pre in zip(ids, pre_versions):
                 pairs.extend((obj, pre))
-            self.manager.stats[shard].release_rpcs += 1
-            yield self._rpc.call(
-                self.kv.shards[shard].node_id,
-                "txn_release",
-                token.to_bytes(8, "little") + _encode_u64s(pairs),
-                timeout_ns=self.kv.rpc_timeout_ns,
-            )
+            payload = token.to_bytes(8, "little") + _encode_u64s(pairs)
+            stats = self.manager.stats[shard]
+            stats.release_rpcs += 1
+            while True:
+                reply = yield self._rpc.call(
+                    self.kv.shards[shard].node_id,
+                    "txn_release",
+                    payload,
+                    timeout_ns=self.kv.rpc_timeout_ns,
+                )
+                if not isinstance(reply, LinkPartitionedError):
+                    break
+                stats.release_retries += 1
+                yield sim.timeout(RELEASE_RETRY_NS)
 
     @staticmethod
     def _touched_shards(reads: Dict[str, TxnRead]):

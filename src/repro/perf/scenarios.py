@@ -78,6 +78,35 @@ def failover_availability(scale: float = 1.0) -> Dict[str, float]:
     }
 
 
+def gray_availability(scale: float = 1.0) -> Dict[str, float]:
+    """The gray-failure availability mix: the flagship
+    ``gray_availability`` sweep point (zipfian readers/writers/
+    transactions riding through slow-but-alive windows on the shards).
+    Because the injector's steady-state cost is a single flag test on
+    the fabric/chip/RPC hot paths, this scenario's no-fault cousins
+    (``failover_availability`` with zero crash cycles inside the sweep)
+    bound the injector overhead: the regression gate's tolerance (<5%)
+    is the budget."""
+    cfg = FailoverMixConfig(
+        duration_ns=scaled_duration(250_000.0, scale),
+        seed=37,
+        cycles=0,
+        distribution="zipfian",
+        fault_kind="gray",
+        fault_windows=3,
+        gray_multiplier=8.0,
+        fallback_after_ns=0.0,
+    )
+    result = run_failover_mix(cfg)
+    ops = result.reads_completed + result.writes_completed + result.commits
+    return {
+        "ops": ops,
+        "fault_reads": result.reads_during_fault,
+        "watchdog_rearms": result.watchdog_rearms,
+        "sim_ns": cfg.duration_ns,
+    }
+
+
 def atomicity_fuzz(scale: float = 1.0) -> Dict[str, float]:
     """Crash-lane fuzz throughput: seed-derived randomized
     interleavings with 3 crash/recover cycles each.  ``ops`` counts
@@ -103,6 +132,7 @@ SCENARIOS: Dict[str, ScenarioFn] = {
     "ycsb_latency": ycsb_latency,
     "txn_mix": txn_mix,
     "failover_availability": failover_availability,
+    "gray_availability": gray_availability,
     "atomicity_fuzz": atomicity_fuzz,
 }
 

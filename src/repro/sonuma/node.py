@@ -55,7 +55,7 @@ CRASH_NOTICE_NS = 40.0
 class SoNode:
     """One rack node: chip + memory + RMC + NI."""
 
-    __slots__ = ("sim", "node_id", "cfg", "cluster_cfg", "fabric", "mesh", "phys", "chip", "counters", "lock_table", "r2p2s", "_tid", "_transfers", "_completions", "_aborted", "_rgp", "_rcp", "_rmc_cycle", "_rcp_service", "_rpc_handler", "_alive_vec", "_batched")
+    __slots__ = ("sim", "node_id", "cfg", "cluster_cfg", "fabric", "mesh", "phys", "chip", "counters", "lock_table", "r2p2s", "_tid", "_transfers", "_completions", "_aborted", "_rgp", "_rcp", "_rmc_cycle", "_rcp_service", "_rpc_handler", "_alive_vec", "_batched", "rpc_endpoint")
 
     def __init__(
         self,
@@ -118,6 +118,9 @@ class SoNode:
         self._aborted: Dict[int, float] = {}
         self._tid = itertools.count(node_id << 32)
         self._rpc_handler = None
+        #: Back-pointer set by RpcEndpoint.__init__ — the fault
+        #: injector's handle on this node's RPC plane.
+        self.rpc_endpoint = None
         # The fabric's aliveness vector mutates in place, so holding a
         # direct reference keeps the per-packet dead-NI check one list
         # index instead of two attribute hops and a method call.
@@ -182,7 +185,11 @@ class SoNode:
         self._transfers[tid] = transfer
         completion = self.sim.event()
         self._completions[tid] = completion
-        if not self.fabric.alive(dst_node):
+        fabric = self.fabric
+        if not fabric.observed_alive(self.node_id, dst_node):
+            return self._fail_transfer(transfer)
+        if fabric.link_severed(self.node_id, dst_node):
+            fabric.partition_refusals += 1
             return self._fail_transfer(transfer)
         pickup = rmc.wq_post_ns + rmc.wq_pickup_ns
 
@@ -230,7 +237,15 @@ class SoNode:
         self._transfers[tid] = transfer
         completion = self.sim.event()
         self._completions[tid] = completion
-        if not self.fabric.alive(dst_node):
+        fabric = self.fabric
+        if not fabric.observed_alive(self.node_id, dst_node):
+            # In the poster's (possibly skewed) lease view the target
+            # is down; a drop window between the pair refuses the post
+            # the same way — a one-sided read whose reply cannot return
+            # is as failed as one that cannot be sent.
+            return self._fail_transfer(transfer)
+        if fabric.link_severed(self.node_id, dst_node):
+            fabric.partition_refusals += 1
             return self._fail_transfer(transfer)
         pickup_delay = rmc.wq_post_ns + rmc.wq_pickup_ns
         self.sim.call_later(pickup_delay, self._unroll, transfer)

@@ -14,7 +14,11 @@ from types import GeneratorType
 from typing import Any, Callable, Dict, Generator, Optional, Tuple, Union
 
 from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
-from repro.common.errors import ProtocolError, ShardCrashedError
+from repro.common.errors import (
+    LinkPartitionedError,
+    ProtocolError,
+    ShardCrashedError,
+)
 from repro.fabric.packets import Packet, PacketKind
 from repro.sim.engine import Event
 from repro.sim.resources import FifoResource
@@ -65,7 +69,15 @@ class RpcEndpoint:
         self.served = 0
         self.failed_calls = 0
         self.timed_out_calls = 0
+        #: Watchdogs that fired against a live peer and re-armed — how
+        #: often gray failures *tested* the slow-not-dead hardening.
+        self.watchdog_rearms = 0
+        #: Gray-failure dial: scales dispatch and handler service time
+        #: for every request served here.  Read at fire time, so the
+        #: fault injector can open/close windows mid-request-stream.
+        self.service_multiplier = 1.0
         node.attach_rpc(self._on_packet)
+        node.rpc_endpoint = self
 
     def register(self, name: str, handler: RpcHandler) -> None:
         self._handlers[name] = handler
@@ -90,11 +102,19 @@ class RpcEndpoint:
         the belt to the crash notification's braces)."""
         rpc_id = next(self._rpc_id)
         completion = self.sim.event()
-        if not self.node.fabric.alive(dst_node) or not self.node.alive:
-            # Destination's lease expired — or *this* node's did: a
-            # zombie handler on a crashed node cannot send, and
-            # registering the call would leak it forever (the fabric
-            # drops dead-source packets, so no reply can ever arrive).
+        fabric = self.node.fabric
+        src_node = self.node.node_id
+        if (
+            not fabric.observed_alive(src_node, dst_node)
+            or not self.node.alive
+        ):
+            # Destination's lease expired *in this caller's (possibly
+            # skewed) view* — or this node's own did: a zombie handler
+            # on a crashed node cannot send, and registering the call
+            # would leak it forever (the fabric drops dead-source
+            # packets, so no reply can ever arrive).  A skewed caller
+            # that has not yet observed a crash sends anyway; its call
+            # is failed when the delayed crash notification reaches it.
             self.failed_calls += 1
             self.sim.call_later(
                 self._dispatch_ns,
@@ -103,12 +123,32 @@ class RpcEndpoint:
                 ),
             )
             return completion
+        if fabric.link_severed(src_node, dst_node):
+            # A partition window severs the conversation: nothing new
+            # is sent (in-flight exchanges drain — the fabric stays
+            # lossless).  The typed subclass keeps every crash-handling
+            # path working while letting tests tell the cases apart.
+            self.failed_calls += 1
+            fabric.partition_refusals += 1
+            self.sim.call_later(
+                self._dispatch_ns,
+                lambda: completion.succeed(
+                    LinkPartitionedError(
+                        src_node, dst_node, f"rpc {name!r} not sent"
+                    )
+                ),
+            )
+            return completion
         marshal = self._marshal_per_byte * len(payload)
         watchdog = None
         if timeout_ns is not None:
+            # A skewed caller's local timer runs behind: its watchdog
+            # deadline stretches by its skew, exactly like the lease
+            # expiry it backstops.
+            skew = fabric.clock_skew_ns(src_node)
             watchdog = self.sim.call_later(
-                marshal + timeout_ns,
-                lambda: self._expire(rpc_id, dst_node, timeout_ns),
+                marshal + timeout_ns + skew,
+                lambda: self._expire(rpc_id, dst_node, timeout_ns + skew),
             )
         self._pending[rpc_id] = (completion, dst_node, watchdog)
         meta = self._name_meta.get(name)
@@ -147,12 +187,13 @@ class RpcEndpoint:
         entry = self._pending.get(rpc_id)
         if entry is None:
             return
-        if self.node.fabric.alive(dst_node):
+        if self.node.fabric.observed_alive(self.node.node_id, dst_node):
             # Slow, not dead: the peer's lease is intact, so the reply
             # is still coming (and server-side effects like acquired
             # locks are real — failing now would orphan them).  Re-arm
             # and keep waiting; a real crash fails the call instantly
             # via fail_pending_to.
+            self.watchdog_rearms += 1
             completion, dst, _old = entry
             watchdog = self.sim.call_later(
                 timeout_ns, lambda: self._expire(rpc_id, dst_node, timeout_ns)
@@ -224,7 +265,10 @@ class RpcEndpoint:
         dispatch_ns = self._dispatch_ns
 
         def granted(_ev: Event) -> None:
-            sim.call_later(dispatch_ns, run)
+            # service_multiplier is read at fire time on both dispatch
+            # and service legs, so a gray window opening mid-queue slows
+            # exactly the requests it should (1.0 costs one multiply).
+            sim.call_later(dispatch_ns * self.service_multiplier, run)
 
         def run() -> None:
             try:
@@ -247,7 +291,11 @@ class RpcEndpoint:
                 self._workers.release()
                 raise
             if service_ns > 0:
-                sim.call_later(service_ns, complete, reply_payload)
+                sim.call_later(
+                    service_ns * self.service_multiplier,
+                    complete,
+                    reply_payload,
+                )
             else:
                 complete(reply_payload)
 

@@ -37,12 +37,16 @@ from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
 from repro.experiments import ExperimentSpec, Variant, register
+from repro.faults import FaultInjector, FaultSchedule
 from repro.harness.report import scaled_duration
 from repro.objstore.failover import FailoverManager, FailurePlan
 from repro.objstore.sharded import ShardedConfig, ShardedKV
 from repro.objstore.txn import TxnManager, TxnStats
 from repro.sim.stats import Samples
-from repro.workloads.generators import UniformPicker
+from repro.workloads.generators import UniformPicker, ZipfianPicker
+
+#: Fault kinds a mix config can schedule (beyond the crash cycles).
+MIX_FAULT_KINDS = ("none", "gray", "straggler", "partition")
 
 
 @dataclass
@@ -76,6 +80,27 @@ class FailoverMixConfig:
     seed: int = 1
     version_bits: int = 16
     vnodes: int = 64
+    #: Key popularity: ``uniform`` or ``zipfian`` (the alias-table
+    #: generator; hot keys make fault windows hurt more).
+    distribution: str = "uniform"
+    zipf_theta: float = 0.99
+    #: Fault lane beyond crash cycles: ``none``, ``gray``,
+    #: ``straggler``, or ``partition`` windows round-robining over the
+    #: shards, expressed as fractions of ``duration_ns`` like the crash
+    #: schedule.
+    fault_kind: str = "none"
+    fault_windows: int = 0
+    fault_first_frac: float = 0.2
+    fault_width_frac: float = 0.15
+    fault_gap_frac: float = 0.05
+    gray_multiplier: float = 8.0
+    partition_drop: bool = True
+    partition_latency_mult: float = 1.0
+    partition_bw_mult: float = 1.0
+    #: Clock skew applied to every *client* node's lease view (shards
+    #: stay synchronous): clients observe crashes late and their RPC
+    #: watchdogs stretch accordingly.
+    clock_skew_ns: float = 0.0
     costs: SoftwareCosts = field(default_factory=lambda: DEFAULT_COSTS)
 
     def validate(self) -> None:
@@ -107,6 +132,28 @@ class FailoverMixConfig:
                 "crash/recover plan extends past the run; shrink cycles or "
                 "the schedule fractions"
             )
+        if self.distribution not in ("uniform", "zipfian"):
+            raise ConfigError(
+                f"unknown distribution {self.distribution!r}"
+            )
+        if self.fault_kind not in MIX_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault_kind {self.fault_kind!r}; pick from "
+                f"{MIX_FAULT_KINDS}"
+            )
+        if self.fault_windows < 0:
+            raise ConfigError(
+                f"fault_windows cannot be negative: {self.fault_windows}"
+            )
+        if self.clock_skew_ns < 0:
+            raise ConfigError(
+                f"clock_skew_ns cannot be negative: {self.clock_skew_ns}"
+            )
+        if self.fault_schedule().end_ns() > self.duration_ns:
+            raise ConfigError(
+                "fault schedule extends past the run; shrink fault_windows "
+                "or the window fractions"
+            )
         self.to_sharded().validate()
 
     def to_sharded(self) -> ShardedConfig:
@@ -132,6 +179,47 @@ class FailoverMixConfig:
             uptime_ns=self.uptime_frac * self.duration_ns,
             count=self.cycles,
         )
+
+    def fault_schedule(self, n_nodes: int = 0) -> FaultSchedule:
+        """The gray/straggler/partition windows (fractions of
+        ``duration_ns``, like :meth:`plan`) plus — when ``n_nodes`` is
+        known — the client clock-skew map.  Shard node ids are
+        ``0..n_shards-1``; partition windows isolate one shard at a
+        time (every ingress link dropped)."""
+        schedule = FaultSchedule()
+        if self.fault_kind != "none" and self.fault_windows > 0:
+            first = self.fault_first_frac * self.duration_ns
+            width = self.fault_width_frac * self.duration_ns
+            gap = self.fault_gap_frac * self.duration_ns
+            shards = range(self.n_shards)
+            if self.fault_kind == "partition":
+                schedule = FaultSchedule.partition_cycles(
+                    [(None, shard) for shard in shards],
+                    first_ns=first,
+                    width_ns=width,
+                    gap_ns=gap,
+                    count=self.fault_windows,
+                    drop=self.partition_drop,
+                    latency_mult=self.partition_latency_mult,
+                    bw_mult=self.partition_bw_mult,
+                )
+            else:
+                schedule = FaultSchedule.gray_cycles(
+                    list(shards),
+                    first_ns=first,
+                    width_ns=width,
+                    gap_ns=gap,
+                    count=self.fault_windows,
+                    multiplier=self.gray_multiplier,
+                    kind=self.fault_kind,
+                )
+        if self.clock_skew_ns > 0 and n_nodes > self.n_shards:
+            skews = {
+                node: self.clock_skew_ns
+                for node in range(self.n_shards, n_nodes)
+            }
+            schedule = schedule.merged(FaultSchedule((), skews))
+        return schedule
 
 
 @dataclass
@@ -161,6 +249,13 @@ class FailoverResult:
     resynced_objects: int
     shard_rows: List[Dict[str, float]]
     txn_rows: List[Dict[str, int]]
+    #: Gray/straggler/partition lane counters (all zero when the
+    #: config schedules no fault windows).
+    fault_windows: int
+    reads_during_fault: int
+    writes_during_fault: int
+    watchdog_rearms: int
+    partition_refusals: int
 
     @property
     def outage_read_share(self) -> float:
@@ -170,6 +265,15 @@ class FailoverResult:
             return math.nan
         return self.reads_during_outage / self.reads_completed
 
+    @property
+    def fault_read_share(self) -> float:
+        """Share of completed reads served while a gray/straggler/
+        partition window was open — the degraded-mode availability
+        headline."""
+        if self.reads_completed <= 0:
+            return math.nan
+        return self.reads_during_fault / self.reads_completed
+
 
 def run_failover_mix(cfg: FailoverMixConfig) -> FailoverResult:
     """Build the service + txn layer + fault injector and run the
@@ -178,6 +282,9 @@ def run_failover_mix(cfg: FailoverMixConfig) -> FailoverResult:
     kv = ShardedKV(cfg.to_sharded())
     manager = TxnManager(kv)
     injector = FailoverManager(kv, cfg.plan())
+    faults = FaultInjector(
+        kv.cluster, cfg.fault_schedule(len(kv.cluster.nodes)), kv=kv
+    )
     sim = kv.cluster.sim
     t_end = cfg.duration_ns
 
@@ -185,8 +292,10 @@ def run_failover_mix(cfg: FailoverMixConfig) -> FailoverResult:
     window = {
         "reads": 0,
         "outage_reads": 0,
+        "fault_reads": 0,
         "writes": 0,
         "outage_writes": 0,
+        "fault_writes": 0,
         "commits": 0,
         "crash_aborts": 0,
         "lock_aborts": 0,
@@ -197,6 +306,13 @@ def run_failover_mix(cfg: FailoverMixConfig) -> FailoverResult:
         return cfg.warmup_ns <= sim.now <= t_end
 
     def picker(client: int, role: str, thread: int):
+        if cfg.distribution == "zipfian":
+            return ZipfianPicker(
+                range(cfg.n_objects),
+                cfg.seed,
+                theta=cfg.zipf_theta,
+                label=(role, client, thread),
+            )
         return UniformPicker(
             range(cfg.n_objects), cfg.seed, label=(role, client, thread)
         )
@@ -212,6 +328,8 @@ def run_failover_mix(cfg: FailoverMixConfig) -> FailoverResult:
                 window["reads"] += 1
                 if injector.any_down():
                     window["outage_reads"] += 1
+                if faults.any_active():
+                    window["fault_reads"] += 1
 
     def writer_proc(client: int, thread: int):
         pick = picker(client, "writer", thread)
@@ -222,6 +340,8 @@ def run_failover_mix(cfg: FailoverMixConfig) -> FailoverResult:
                 window["writes"] += 1
                 if injector.any_down():
                     window["outage_writes"] += 1
+                if faults.any_active():
+                    window["fault_writes"] += 1
             yield sim.timeout(cfg.write_pause_ns)
 
     def txn_proc(session, client: int, thread: int):
@@ -284,6 +404,17 @@ def run_failover_mix(cfg: FailoverMixConfig) -> FailoverResult:
         resynced_objects=fo.resynced_objects,
         shard_rows=kv.shard_load(),
         txn_rows=manager.txn_rows(),
+        fault_windows=(
+            faults.stats.gray_windows
+            + faults.stats.straggler_windows
+            + faults.stats.partition_windows
+        ),
+        reads_during_fault=window["fault_reads"],
+        writes_during_fault=window["fault_writes"],
+        watchdog_rearms=sum(
+            e.watchdog_rearms for e in kv.all_endpoints()
+        ),
+        partition_refusals=kv.cluster.fabric.partition_refusals,
     )
 
 
@@ -395,6 +526,127 @@ def _atomicity_point(ctx) -> Dict[str, float]:
         f"{v}_crash_aborts": result.crash_aborts,
         f"{v}_promotions": result.promotions,
     }
+
+
+FAULT_HEADERS = (
+    "fault_windows",
+    "reads",
+    "reads_during_fault",
+    "fault_read_share",
+    "writes",
+    "writes_during_fault",
+    "commits",
+    "watchdog_rearms",
+    "partition_refusals",
+    "crash_redirects",
+    "undetected_violations",
+)
+
+#: Defaults shared by the fault-injection specs: the flagship 4-shard
+#: deployment under the zipfian (alias-table) mix, no crash cycles —
+#: the faults are the event under study.
+_FAULT_SPEC_DEFAULTS = {
+    "mechanism": "sabre",
+    "n_shards": 4,
+    "readers_per_client": 2,
+    "writers_per_client": 1,
+    "txn_sessions_per_client": 1,
+    "replication": 2,
+    "object_size": 512,
+    "n_objects": 64,
+    "duration_ns": 200_000.0,
+    "warmup_ns": 10_000.0,
+    "cycles": 0,
+    "distribution": "zipfian",
+    "gray_multiplier": 8.0,
+    "partition_latency_mult": 1.0,
+    "partition_bw_mult": 1.0,
+    "clock_skew_ns": 0.0,
+    "fallback_after_ns": 0.0,
+}
+
+
+def _fault_cfg_from_params(p, scale: float, fault_kind: str) -> FailoverMixConfig:
+    return FailoverMixConfig(
+        mechanism=p["mechanism"],
+        n_shards=p["n_shards"],
+        readers_per_client=p["readers_per_client"],
+        writers_per_client=p["writers_per_client"],
+        txn_sessions_per_client=p["txn_sessions_per_client"],
+        replication=p["replication"],
+        object_size=p["object_size"],
+        n_objects=p["n_objects"],
+        duration_ns=scaled_duration(p["duration_ns"], scale),
+        warmup_ns=p["warmup_ns"],
+        cycles=p["cycles"],
+        seed=p["seed"],
+        distribution=p["distribution"],
+        fault_kind=fault_kind if p["fault_windows"] else "none",
+        fault_windows=p["fault_windows"],
+        gray_multiplier=p["gray_multiplier"],
+        partition_latency_mult=p["partition_latency_mult"],
+        partition_bw_mult=p["partition_bw_mult"],
+        clock_skew_ns=p["clock_skew_ns"],
+        fallback_after_ns=p["fallback_after_ns"],
+    )
+
+
+def _fault_point(ctx, fault_kind: str) -> Dict[str, float]:
+    result = run_failover_mix(
+        _fault_cfg_from_params(ctx.params, ctx.scale, fault_kind)
+    )
+    return {
+        "fault_windows": result.fault_windows,
+        "reads": result.reads_completed,
+        "reads_during_fault": result.reads_during_fault,
+        "fault_read_share": result.fault_read_share,
+        "writes": result.writes_completed,
+        "writes_during_fault": result.writes_during_fault,
+        "commits": result.commits,
+        "watchdog_rearms": result.watchdog_rearms,
+        "partition_refusals": result.partition_refusals,
+        "crash_redirects": result.crash_redirects,
+        "undetected_violations": result.undetected_violations,
+    }
+
+
+GRAY_AVAILABILITY_SPEC = register(
+    ExperimentSpec(
+        name="gray_availability",
+        description=(
+            "Reads, writes, and commits keep flowing while shards turn "
+            "gray (slow-but-alive service-time multipliers)"
+        ),
+        axes={"fault_windows": (0, 2, 4)},
+        defaults={**_FAULT_SPEC_DEFAULTS, "seed": 37},
+        headers=FAULT_HEADERS,
+        point_fn=lambda ctx: _fault_point(ctx, "gray"),
+        base_seed=37,
+    )
+)
+
+
+PARTITION_AVAILABILITY_SPEC = register(
+    ExperimentSpec(
+        name="partition_availability",
+        description=(
+            "Shards are isolated by drop windows one at a time; new "
+            "conversations are refused, in-flight ones drain, and no "
+            "consumed read is ever torn"
+        ),
+        axes={"fault_windows": (0, 2, 4)},
+        defaults={
+            **_FAULT_SPEC_DEFAULTS,
+            "seed": 41,
+            # Readers walk to a serving backup when the primary's
+            # window refuses them.
+            "fallback_after_ns": 1_500.0,
+        },
+        headers=FAULT_HEADERS,
+        point_fn=lambda ctx: _fault_point(ctx, "partition"),
+        base_seed=41,
+    )
+)
 
 
 FAILOVER_ATOMICITY_SPEC = register(

@@ -16,9 +16,15 @@ fuzz throughput (interleavings per second).
 from __future__ import annotations
 
 from repro.common.rng import derive_seed, make_rng
+from repro.faults import FaultInjector, FaultSchedule, FaultWindow
 from repro.objstore.failover import FailoverManager, FailurePlan
 from repro.objstore.sharded import ShardedConfig, ShardedKV
 from repro.objstore.txn import TxnManager
+
+#: RPC watchdog armed for fault-lane rounds (when no FailoverManager
+#: already chose one): short enough that gray windows make watchdogs
+#: fire against slow-but-alive shards, exercising the re-arm path.
+FAULT_LANE_RPC_TIMEOUT_NS = 8_000.0
 
 #: Mechanisms whose consumed reads must never be torn.
 DETECTING = ("sabre", "percl_versions", "checksum", "drtm_lock")
@@ -27,7 +33,7 @@ DETECTING = ("sabre", "percl_versions", "checksum", "drtm_lock")
 class FuzzOutcome:
     """Aggregated counters of one fuzz round."""
 
-    def __init__(self, kv, manager, injector=None):
+    def __init__(self, kv, manager, injector=None, faults=None):
         reader_stats = kv.all_reader_stats()
         txn = manager.merged_stats()
         self.undetected_violations = sum(
@@ -54,6 +60,17 @@ class FuzzOutcome:
             self.crash_disruptions += (
                 injector.stats.failed_rpcs + injector.stats.failed_transfers
             )
+        self.gray_windows = faults.stats.gray_windows if faults else 0
+        self.straggler_windows = (
+            faults.stats.straggler_windows if faults else 0
+        )
+        self.partition_windows = (
+            faults.stats.partition_windows if faults else 0
+        )
+        self.partition_refusals = kv.cluster.fabric.partition_refusals
+        self.watchdog_rearms = sum(
+            e.watchdog_rearms for e in kv.all_endpoints()
+        )
         self.fingerprint = (
             self.undetected_violations,
             self.torn_reads_observed,
@@ -64,6 +81,11 @@ class FuzzOutcome:
             self.crashes,
             self.promotions,
             self.crash_aborts,
+            self.gray_windows,
+            self.straggler_windows,
+            self.partition_windows,
+            self.partition_refusals,
+            self.watchdog_rearms,
             [s.retries for s in reader_stats],
             manager.txn_rows(),
             kv.shard_load(),
@@ -77,6 +99,9 @@ def fuzz_round(
     duration_ns: float = 30_000.0,
     object_size: int = 512,
     crash_cycles: int = 0,
+    gray_windows: int = 0,
+    partition_windows: int = 0,
+    skew_max_ns: float = 0.0,
 ) -> FuzzOutcome:
     """One randomized interleaving: the schedule (process counts, key
     choices, pacing, transaction shapes) all derive from ``seed``.
@@ -84,7 +109,16 @@ def fuzz_round(
     With ``crash_cycles > 0`` a failover lane rides along: that many
     crash/recover cycles round-robin over the shards at seed-derived
     times, so readers, writers, and mid-flight transaction commits get
-    interleaved with promotions and re-syncs."""
+    interleaved with promotions and re-syncs.
+
+    ``gray_windows`` adds slow-but-alive windows (a seed-derived mix of
+    full gray failures and RPC-plane-only stragglers) on random shards;
+    ``partition_windows`` adds drop windows that either fully isolate a
+    shard or sever a single client->shard link (the asymmetric case);
+    ``skew_max_ns`` gives every node a seed-derived clock skew in
+    ``[0, skew_max_ns]``, so lease views go stale and watchdog
+    deadlines stretch.  All three compose with each other and with the
+    crash lane."""
     rng = make_rng(seed, "fuzz-schedule", mechanism, n_shards)
     cfg = ShardedConfig(
         n_shards=n_shards,
@@ -112,6 +146,57 @@ def fuzz_round(
                 count=crash_cycles,
             ),
         )
+    fault_windows = []
+    if gray_windows:
+        period = duration_ns / (gray_windows + 1)
+        for i in range(gray_windows):
+            width = period * rng.uniform(0.3, 0.6)
+            start = period * (i + rng.uniform(0.3, 0.7))
+            fault_windows.append(
+                FaultWindow(
+                    "gray" if rng.random() < 0.7 else "straggler",
+                    start_ns=start,
+                    end_ns=start + width,
+                    node=rng.randrange(n_shards),
+                    multiplier=rng.uniform(3.0, 12.0),
+                )
+            )
+    if partition_windows:
+        period = duration_ns / (partition_windows + 1)
+        for i in range(partition_windows):
+            width = period * rng.uniform(0.25, 0.5)
+            start = period * (i + rng.uniform(0.3, 0.7))
+            shard_node = rng.randrange(n_shards)
+            # Half the windows fully isolate the shard; half sever a
+            # single client->shard link (the asymmetric case, where
+            # everyone else still reaches it).
+            src = (
+                None
+                if rng.random() < 0.5
+                else n_shards + rng.randrange(cfg.n_clients)
+            )
+            fault_windows.append(
+                FaultWindow(
+                    "partition",
+                    start_ns=start,
+                    end_ns=start + width,
+                    src=src,
+                    dst=shard_node,
+                    drop=True,
+                )
+            )
+    skews = {}
+    if skew_max_ns > 0:
+        for node_id in range(n_shards + cfg.n_clients):
+            skews[node_id] = rng.uniform(0.0, skew_max_ns)
+    faults = None
+    if fault_windows or skews:
+        faults = FaultInjector(
+            kv.cluster,
+            FaultSchedule(fault_windows, skews),
+            kv=kv,
+            rpc_timeout_ns=FAULT_LANE_RPC_TIMEOUT_NS,
+        )
     sim = kv.cluster.sim
     keys = kv.keys()
     t_end = duration_ns
@@ -126,7 +211,7 @@ def fuzz_round(
         pick = make_rng(seed, "fuzz-writer", label)
         while sim.now < t_end:
             key = keys[pick.randrange(len(keys))]
-            yield kv.put(client, key)
+            yield kv.put(client, key, t_end)
             yield sim.timeout(pick.uniform(10.0, 200.0))
 
     def txn_proc(session, label):
@@ -145,4 +230,4 @@ def fuzz_round(
         sim.process(txn_proc(manager.session(i % cfg.clients), i))
 
     sim.run()
-    return FuzzOutcome(kv, manager, injector)
+    return FuzzOutcome(kv, manager, injector, faults)

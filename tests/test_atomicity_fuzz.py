@@ -116,6 +116,131 @@ def test_crash_fuzz_rounds_are_deterministic():
     assert a.fingerprint == b.fingerprint
 
 
+@pytest.mark.smoke
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("mechanism", DETECTING)
+def test_detecting_protocols_survive_gray_windows(mechanism, n_shards):
+    """The gray lane: shards turn slow-but-alive (a seed-derived mix of
+    full gray failures and RPC-only stragglers) while readers, writers,
+    and transactions keep running.  Slowness must never become
+    tearing."""
+    windows = 0
+    for seed in (601, 602, 603):
+        outcome = fuzz_round(mechanism, n_shards, seed=seed, gray_windows=2)
+        assert outcome.reads_consumed > 0, (mechanism, n_shards, seed)
+        assert outcome.undetected_violations == 0, (mechanism, n_shards, seed)
+        assert outcome.torn_reads_observed == 0, (mechanism, n_shards, seed)
+        windows += outcome.gray_windows + outcome.straggler_windows
+        assert outcome.gray_windows + outcome.straggler_windows == 2
+    assert windows == 6
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("mechanism", DETECTING)
+def test_detecting_protocols_survive_partition_windows(mechanism, n_shards):
+    """The partition lane: drop windows isolate a shard or sever one
+    client->shard link mid-run.  Refused conversations must surface as
+    typed failures (counted as refusals), never as torn reads."""
+    refusals = 0
+    for seed in (701, 702, 703):
+        outcome = fuzz_round(
+            mechanism, n_shards, seed=seed, partition_windows=2
+        )
+        assert outcome.partition_windows == 2, (mechanism, n_shards, seed)
+        assert outcome.reads_consumed > 0, (mechanism, n_shards, seed)
+        assert outcome.undetected_violations == 0, (mechanism, n_shards, seed)
+        assert outcome.torn_reads_observed == 0, (mechanism, n_shards, seed)
+        refusals += outcome.partition_refusals
+    # Across the seeds the partitions demonstrably severed live
+    # conversations — the lane is not vacuously passing.
+    assert refusals > 0, (mechanism, n_shards)
+
+
+@pytest.mark.parametrize(
+    "fault_kw",
+    [{"gray_windows": 2}, {"partition_windows": 2}],
+    ids=["gray", "partition"],
+)
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_remote_read_tears_under_fault_windows(n_shards, fault_kw):
+    """The fault lanes are torn-read-capable: the bare ``remote_read``
+    baseline, run through the very same gray/partition schedules the
+    detecting protocols survive, *does* consume torn snapshots — so the
+    zero-violation results above are earned, not vacuous."""
+    torn = 0
+    for seed in (7, 11, 13):
+        outcome = fuzz_round(
+            "remote_read",
+            n_shards,
+            seed=seed,
+            duration_ns=40_000.0,
+            object_size=2048,
+            **fault_kw,
+        )
+        assert outcome.undetected_violations == 0  # remote_read never audits
+        torn += outcome.torn_reads_observed
+    assert torn > 0
+
+
+@pytest.mark.smoke
+def test_fault_fuzz_rounds_are_deterministic():
+    """Fingerprint determinism for the full fault composition: gray +
+    partition + skew + crash in one round."""
+    kw = dict(
+        duration_ns=45_000.0,
+        crash_cycles=2,
+        gray_windows=1,
+        partition_windows=1,
+        skew_max_ns=1_000.0,
+    )
+    a = fuzz_round("sabre", 4, seed=808, **kw)
+    b = fuzz_round("sabre", 4, seed=808, **kw)
+    assert a.fingerprint == b.fingerprint
+    c = fuzz_round("sabre", 4, seed=809, **kw)
+    assert a.fingerprint != c.fingerprint
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mechanism", DETECTING)
+def test_soak_fault_composition_lane(mechanism):
+    """Scheduled-lane soak: gray + partition + skew (and crash cycles)
+    composed in every round, many rounds per mechanism."""
+    rounds = int(os.environ.get("SABRES_FUZZ_ROUNDS", "6"))
+    for i in range(rounds):
+        outcome = fuzz_round(
+            mechanism,
+            4,
+            seed=4000 + i,
+            duration_ns=60_000.0,
+            object_size=1024,
+            crash_cycles=2,
+            gray_windows=2,
+            partition_windows=2,
+            skew_max_ns=1_500.0,
+        )
+        assert outcome.crashes == 2, (mechanism, i)
+        assert outcome.gray_windows + outcome.straggler_windows == 2
+        assert outcome.partition_windows == 2, (mechanism, i)
+        assert outcome.undetected_violations == 0, (mechanism, i)
+        assert outcome.torn_reads_observed == 0, (mechanism, i)
+        assert outcome.reads_consumed > 0, (mechanism, i)
+
+
+@pytest.mark.slow
+def test_soak_remote_read_keeps_tearing_under_faults():
+    rounds = int(os.environ.get("SABRES_FUZZ_ROUNDS", "6"))
+    torn = 0
+    for i in range(rounds):
+        outcome = fuzz_round(
+            "remote_read", 1, seed=5000 + i,
+            duration_ns=60_000.0, object_size=2048,
+            gray_windows=1, partition_windows=1,
+        )
+        torn += outcome.torn_reads_observed
+    assert torn > 0
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("mechanism", DETECTING)
 def test_soak_crash_lane(mechanism):

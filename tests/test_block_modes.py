@@ -88,6 +88,44 @@ def test_fuzz_fingerprints_identical_across_block_modes():
         assert a.fingerprint == b.fingerprint, seed
 
 
+@pytest.mark.parametrize(
+    "spec_name", ("gray_availability", "partition_availability")
+)
+def test_fault_specs_are_block_mode_invariant(spec_name):
+    """The fault-injection sweeps: gray/partition windows open and
+    close while block streams are mid-flight, and the degradation
+    table and service multipliers are read at fire time — so the
+    batched kernel must land on the very same per-packet faults the
+    stepwise reference does."""
+    for seed in SEEDS:
+        stepwise = _artifact_bytes(spec_name, "stepwise", seed, SMOKE_SCALE)
+        batched = _artifact_bytes(spec_name, "batched", seed, SMOKE_SCALE)
+        assert stepwise == batched, (spec_name, seed)
+
+
+def test_fault_fuzz_fingerprints_identical_across_block_modes():
+    """Mid-transfer fault windows under both kernels: gray + partition
+    + skew (and crashes) opening while multi-block SABRes stream.  The
+    fingerprints — including refusal and re-arm counters — must not
+    depend on the block path."""
+    kw = dict(
+        duration_ns=40_000.0,
+        crash_cycles=2,
+        gray_windows=2,
+        partition_windows=2,
+        skew_max_ns=1_000.0,
+    )
+    for seed in (505, 616):
+        os.environ[BLOCKS_ENV] = "stepwise"
+        try:
+            a = fuzz_round("sabre", 4, seed=seed, **kw)
+        finally:
+            os.environ.pop(BLOCKS_ENV, None)
+        b = fuzz_round("sabre", 4, seed=seed, **kw)
+        assert a.fingerprint == b.fingerprint, seed
+        assert a.gray_windows + a.straggler_windows == 2
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("spec_name", sorted(set(registry.names())))
 def test_every_registered_spec_is_block_mode_invariant(spec_name):

@@ -719,3 +719,75 @@ class TestReviewRegressions:
         # The backup caught up despite the epoch bump mid-replication.
         assert kv.stores[backup].current_version(idx) == 2
         assert kv.write_stats[backup].replica_updates == 1
+
+
+class TestGrayFaultComposition:
+    """The fault injector composed with the service-level failover
+    machinery: gray windows must stress — never break — the
+    slow-not-dead hardening."""
+
+    def test_gray_window_rearms_watchdog_instead_of_failing_txn(self):
+        """A transaction committing through a gray window on its
+        primary: the RPC watchdog fires (the shard is far slower than
+        the timeout) but must re-arm against the intact lease, so the
+        commit lands with zero crash aborts and no orphaned lock."""
+        from repro.faults import FaultInjector, FaultSchedule, FaultWindow
+
+        kv = small_kv()
+        FailoverManager(kv, rpc_timeout_ns=300.0)
+        key = kv.keys()[0]
+        idx = kv.key_index(key)
+        primary = kv.primary_of(key)
+        FaultInjector(
+            kv.cluster,
+            FaultSchedule(
+                [
+                    FaultWindow(
+                        "gray",
+                        start_ns=0.0,
+                        end_ns=150_000.0,
+                        node=primary,
+                        multiplier=40.0,
+                    )
+                ]
+            ),
+            kv=kv,
+        )
+        manager = TxnManager(kv)
+        session = manager.session(0)
+        outcomes = []
+
+        def txn():
+            outcome = yield from session.run([key], [key], t_end=200_000.0)
+            outcomes.append(outcome)
+
+        kv.cluster.sim.process(txn())
+        kv.cluster.sim.run()
+        (outcome,) = outcomes
+        assert outcome.committed
+        assert outcome.crash_aborts == 0
+        rearms = sum(e.watchdog_rearms for e in kv.all_endpoints())
+        assert rearms > 0  # the watchdog demonstrably fired and re-armed
+        timed_out = sum(e.timed_out_calls for e in kv.all_endpoints())
+        assert timed_out == 0
+        assert not is_locked(kv.stores[primary].current_version(idx))
+        assert kv.stores[primary].current_version(idx) == 2
+
+    def test_gray_mix_keeps_serving_with_zero_violations(self):
+        """The kv-level gray mix: readers/writers/txns ride through
+        slow-but-alive windows; reads keep completing inside the
+        windows and the atomicity audit stays clean."""
+        cfg = FailoverMixConfig(
+            duration_ns=60_000.0,
+            seed=37,
+            cycles=0,
+            fault_kind="gray",
+            fault_windows=2,
+            gray_multiplier=10.0,
+            fallback_after_ns=0.0,
+        )
+        result = run_failover_mix(cfg)
+        assert result.fault_windows == 2
+        assert result.reads_during_fault > 0
+        assert result.undetected_violations == 0
+        assert result.reads_completed > result.reads_during_fault

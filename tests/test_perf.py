@@ -78,6 +78,7 @@ class TestBenchHarness:
             "ycsb_latency",
             "txn_mix",
             "failover_availability",
+            "gray_availability",
             "atomicity_fuzz",
         }
 

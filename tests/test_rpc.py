@@ -172,3 +172,46 @@ def test_raising_handler_paths_never_strand_the_worker_pool():
     done = b.call(0, "healthy", b"y")
     cluster.run()
     assert done.value == b"ok"
+
+
+def test_watchdog_rearms_against_slow_but_alive_peer():
+    """Gray-failure regression: a watchdog firing against a peer whose
+    lease is intact must re-arm and keep waiting — the reply is still
+    coming, and server-side effects (acquired locks) are real.  Failing
+    the call would orphan them."""
+    cluster, a, b = make_pair()
+    a.service_multiplier = 20.0  # gray window: slow, not dead
+    a.register("work", lambda payload: (b"done", 500.0))
+    replies = []
+
+    def client():
+        reply = yield b.call(0, "work", b"x", timeout_ns=1_000.0)
+        replies.append(reply)
+
+    cluster.sim.process(client())
+    cluster.run()
+    # The reply arrived despite several watchdog deadlines passing.
+    assert replies == [b"done"]
+    assert b.timed_out_calls == 0
+    assert b.failed_calls == 0
+    assert b.watchdog_rearms > 0
+
+
+def test_watchdog_still_fails_calls_to_a_dead_peer():
+    """The re-arm path must not defeat the watchdog's purpose: once
+    the peer's lease is genuinely gone, the call times out."""
+    cluster, a, b = make_pair()
+    a.register("work", lambda payload: (b"never", 50_000.0))
+    cluster.sim.call_at(100.0, cluster.fabric.set_alive, 0, False)
+    replies = []
+
+    def client():
+        reply = yield b.call(0, "work", b"x", timeout_ns=1_000.0)
+        replies.append(reply)
+
+    cluster.sim.process(client())
+    cluster.run()
+    from repro.common.errors import ShardCrashedError
+
+    assert isinstance(replies[0], ShardCrashedError)
+    assert b.timed_out_calls == 1
