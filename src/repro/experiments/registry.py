@@ -30,6 +30,7 @@ _BUILTIN_MODULES = (
     "repro.workloads.ycsb",
     "repro.workloads.txn_mix",
     "repro.workloads.availability",
+    "repro.workloads.elastic",
 )
 _builtin_loaded = False
 

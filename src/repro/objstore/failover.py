@@ -274,8 +274,10 @@ class FailoverManager:
 
     # ------------------------------------------------------------------
     def any_down(self) -> bool:
-        """True while at least one shard is crashed or re-syncing."""
-        return not all(self.kv.serving)
+        """True while at least one ring *member* is crashed or
+        re-syncing (spare slots a scale-out has not activated are
+        always non-serving and must not count as an outage)."""
+        return not self.kv.all_members_serving()
 
     def _resync_cost(self, shard: int) -> float:
         """Simulated time shard ``shard``'s re-sync takes — constant,

@@ -1,0 +1,598 @@
+"""Live resharding and workload-aware placement for the sharded store.
+
+ROADMAP item 4's elastic half: the deployment's topology is no longer
+frozen at construction.  A :class:`ReshardManager` — the planned-change
+sibling of :class:`~repro.objstore.failover.FailoverManager`, sharing
+its epoch fencing — executes scale-out/scale-in under load, and a small
+rebalance policy loop promotes extra read replicas for hot keys.
+
+**Scale-out protocol** (``scale_out``), per added shard:
+
+1. *Activate* a provisioned spare slot (epoch bump).  Nothing routes to
+   it yet — the ring has not grown — so activation is invisible to
+   clients beyond the fence.
+2. Grow the ring incrementally (:meth:`HashRing.add_shard`), which
+   reports the exact moved arcs as :class:`RangeDelta` entries.  Only
+   keys on those arcs (plus keys gaining the new shard as a backup)
+   migrate; everything else never notices.
+3. *Per-vnode handoff*: moved keys are batched by the vnode whose arc
+   they sit on and migrated batch by batch — a fixed handshake charge,
+   then per-key migration (below), then an epoch bump that redirects
+   writers of the batch to the new owner through the existing
+   busy/fenced retry path with their *remaining* deadline budget.
+4. *Drain*, then prune: after ``drain_ns`` of double-read grace the
+   migrated keys' placements collapse to exactly the fresh-ring replica
+   lists and the double-read marks drop.  A finished migration is
+   placement-identical to a fresh deployment at the new shard count.
+
+**Per-key migration** (the heart of the invariant): the key's current
+primary is *locked* (odd version, owner-token guarded, applied before
+the first yield — atomic against racing writers and commit handlers),
+the key enters its **double-read window** (readers walk old and new
+owners even with fallback disabled, so a detecting protocol can always
+find a committed copy and the torn-read audit stays at zero mid-
+migration), the committed image is copied to each new holder through
+the *destination's timed memory hierarchy* block by block, the
+placement flips with the old owners kept on the tail (double-read),
+and the source unlocks.  A source crash at any yield is detected by
+token revalidation (re-sync clears lock owners) and the key simply
+re-migrates from the promoted primary.
+
+**Scale-in** (``scale_in``) runs the same machinery from the other
+side: the ring shrinks first (reads keep working — the departing shard
+still serves its copies during drain-out), hosted keys migrate to
+their successors, and only when nothing routes to the shard anymore is
+it demoted back to a spare slot.
+
+**Hotspot rebalancing** (:meth:`start_rebalancer`): a policy loop
+samples the per-key consumed-read counters every ``interval_ns``,
+promotes extra read replicas for keys concentrating more than
+``hot_share`` of the interval's reads (Zipfian heads), and demotes
+them once their share falls below ``cool_share``.  Promotion reuses
+the migration copy path (lock, timed copy, placement append, epoch
+bump), so a promoted replica is committed-fresh and covered by the
+primary's replication fan-out from the moment readers can reach it.
+
+Everything is deterministic: batch and key order are sorted, tokens
+come from a dedicated counter (disjoint from transaction tokens), and
+the copy path's cost is independent of block-execution mode — elastic
+runs are byte-identical under parallel sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.units import CACHE_BLOCK
+from repro.objstore.failover import (
+    DEFAULT_REROUTE_CHECK_NS,
+    DEFAULT_RPC_TIMEOUT_NS,
+)
+from repro.objstore.layout import is_locked, lock_version, stamped_payload
+from repro.objstore.sharded import (
+    LOCK_SPIN_NS,
+    OUTAGE_POLL_NS,
+    RangeDelta,
+    ShardedKV,
+)
+
+#: Fixed per-vnode handoff handshake (ownership-transfer metadata, the
+#: coordination a FaRM-style reconfiguration round costs) charged
+#: before a batch's keys migrate.
+DEFAULT_HANDOFF_FIXED_NS = 400.0
+
+#: Double-read grace after the last batch of a topology change: how
+#: long readers keep consulting old owners before placements collapse
+#: to the fresh-ring lists.  Covers every in-flight read that computed
+#: its route against the pre-flip view (bounded by the reroute check).
+DEFAULT_DRAIN_NS = 5_000.0
+
+#: Migration lock tokens live in their own number space, far above any
+#: transaction token (:class:`~repro.objstore.txn.TxnManager` counts
+#: from 1), so a migration's lock can never be committed or released by
+#: a transaction straggler holding an aliased token.
+RESHARD_TOKEN_BASE = 1 << 62
+
+
+# ----------------------------------------------------------------------
+# plan + stats
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReshardOp:
+    """One planned topology change: ``kind`` is ``"add"`` or
+    ``"remove"``; ``shard`` is the slot index."""
+
+    kind: str
+    shard: int
+
+    def validate(self, kv: ShardedKV) -> None:
+        if self.kind not in ("add", "remove"):
+            raise ConfigError(f"unknown reshard op kind {self.kind!r}")
+        if not 0 <= self.shard < kv.provisioned:
+            raise ConfigError(
+                f"shard {self.shard} outside the provisioned slots "
+                f"(0..{kv.provisioned - 1}); raise max_shards"
+            )
+
+
+@dataclass
+class ReshardStats:
+    """Counters over every executed topology change and rebalance."""
+
+    shards_added: int = 0
+    shards_removed: int = 0
+    #: Per-vnode handoff batches executed (one handshake charge each).
+    vnode_handoffs: int = 0
+    #: Keys whose placement was migrated (flipped) by a topology change.
+    keys_migrated: int = 0
+    #: Timed object copies onto new holders (migration + promotion).
+    replica_copies: int = 0
+    hot_promotions: int = 0
+    hot_demotions: int = 0
+    #: Outer retries of a per-key migration after the locked source
+    #: crashed mid-copy (token revalidation caught it).
+    migration_retries: int = 0
+    #: Spin-waits behind a writer/transaction lock before a migration
+    #: could lock its source.
+    lock_waits: int = 0
+    #: Total simulated time spent inside topology changes.
+    migration_ns: float = 0.0
+
+
+@dataclass
+class RebalanceConfig:
+    """Hotspot policy knobs.
+
+    Every ``interval_ns`` the loop looks at the consumed-read counters'
+    delta.  A key concentrating ``>= hot_share`` of the interval's
+    reads gains an extra read replica (up to ``max_extra``); a promoted
+    key falling below ``cool_share`` loses them again.  Intervals with
+    fewer than ``min_reads`` total reads only demote (no promotion on
+    noise)."""
+
+    interval_ns: float = 20_000.0
+    hot_share: float = 0.06
+    cool_share: float = 0.02
+    max_extra: int = 2
+    min_reads: int = 32
+
+    def validate(self) -> None:
+        if self.interval_ns <= 0:
+            raise ConfigError("rebalance interval must be positive")
+        if not 0.0 < self.cool_share <= self.hot_share <= 1.0:
+            raise ConfigError(
+                "need 0 < cool_share <= hot_share <= 1, got "
+                f"{self.cool_share}/{self.hot_share}"
+            )
+        if self.max_extra < 0 or self.min_reads < 0:
+            raise ConfigError("max_extra/min_reads cannot be negative")
+
+
+# ----------------------------------------------------------------------
+# the manager
+# ----------------------------------------------------------------------
+
+
+class ReshardManager:
+    """Executes planned topology changes and the rebalance policy over
+    one :class:`ShardedKV`.
+
+    Attach at most one per service; it may coexist with a
+    :class:`~repro.objstore.failover.FailoverManager` (the fuzz lanes
+    run both).  Attaching arms the same client-side reroute/watchdog
+    bounds failover arms, so readers re-route promptly mid-handoff."""
+
+    def __init__(
+        self,
+        kv: ShardedKV,
+        handoff_fixed_ns: float = DEFAULT_HANDOFF_FIXED_NS,
+        drain_ns: float = DEFAULT_DRAIN_NS,
+        reroute_check_ns: float = DEFAULT_REROUTE_CHECK_NS,
+        rpc_timeout_ns: Optional[float] = DEFAULT_RPC_TIMEOUT_NS,
+    ):
+        if handoff_fixed_ns < 0 or drain_ns < 0:
+            raise ConfigError("handoff/drain costs cannot be negative")
+        self.kv = kv
+        self.handoff_fixed_ns = handoff_fixed_ns
+        self.drain_ns = drain_ns
+        self.stats = ReshardStats()
+        self.events: List[Tuple[float, str, int]] = []
+        kv.reroute_check_ns = min(kv.reroute_check_ns, reroute_check_ns)
+        if kv.rpc_timeout_ns is None:
+            kv.rpc_timeout_ns = rpc_timeout_ns
+        self._tokens = itertools.count(RESHARD_TOKEN_BASE)
+        #: Topology mutex: one migration or promotion mutates placement
+        #: at a time (concurrent plans queue behind it).
+        self._busy = False
+        #: Nesting count of in-flight topology changes (scheduled plans
+        #: queued behind the mutex included), for workload metering.
+        self.migrating = 0
+        self._claimed: set = set()
+        self._stop_rebalance = False
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def any_migrating(self) -> bool:
+        """True while any scheduled topology change has started and not
+        yet finished draining (metering windows key on this)."""
+        return self.migrating > 0
+
+    def spare_slots(self) -> List[int]:
+        """Provisioned slots not currently ring members and not claimed
+        by an already-scheduled scale-out, ascending."""
+        return [
+            s
+            for s in range(self.kv.provisioned)
+            if not self.kv.members[s] and s not in self._claimed
+        ]
+
+    def scale_out(self, count: int, at_ns: float) -> List[int]:
+        """Schedule ``count`` spare slots to join at ``at_ns``; returns
+        the slot ids chosen (lowest spares first, deterministic)."""
+        if count < 1:
+            raise ConfigError(f"scale_out needs count >= 1: {count}")
+        spares = self.spare_slots()
+        if len(spares) < count:
+            raise ConfigError(
+                f"scale_out of {count} wants more spare slots than the "
+                f"{len(spares)} provisioned; raise max_shards"
+            )
+        chosen = spares[:count]
+        self._claimed.update(chosen)
+        self.schedule([ReshardOp("add", s) for s in chosen], at_ns)
+        return chosen
+
+    def scale_in(self, shards: Sequence[int], at_ns: float) -> None:
+        """Schedule ``shards`` to drain out and leave at ``at_ns``."""
+        if not shards:
+            raise ConfigError("scale_in needs at least one shard")
+        self.schedule([ReshardOp("remove", s) for s in shards], at_ns)
+
+    def schedule(self, ops: Sequence[ReshardOp], at_ns: float) -> None:
+        """Schedule a validated op sequence to execute at ``at_ns``
+        (plans landing while another runs queue behind its mutex)."""
+        ops = list(ops)
+        for op in ops:
+            op.validate(self.kv)
+        sim = self.kv.cluster.sim
+        sim.call_at(at_ns, lambda: sim.process(self._execute(ops)))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, ops: List[ReshardOp]):
+        sim = self.kv.cluster.sim
+        self.migrating += 1
+        while self._busy:
+            yield sim.timeout(OUTAGE_POLL_NS)
+        self._busy = True
+        t0 = sim.now
+        try:
+            for op in ops:
+                if op.kind == "add":
+                    yield from self._add(op.shard)
+                else:
+                    yield from self._remove(op.shard)
+        finally:
+            self._busy = False
+            self.migrating -= 1
+            self.stats.migration_ns += sim.now - t0
+
+    def _add(self, shard: int):
+        kv = self.kv
+        sim = kv.cluster.sim
+        if kv.members[shard]:
+            raise ConfigError(f"shard {shard} is already a member")
+        kv.activate_shard(shard)
+        self._claimed.discard(shard)
+        self.events.append((sim.now, "activate", shard))
+        deltas = kv.ring.add_shard(shard)
+        plan = self._plan_moves(deltas, affected=shard)
+        yield from self._run_batches(plan)
+        yield from self._drain_and_prune([idx for _b, idx, _p in plan])
+        self.stats.shards_added += 1
+        self.events.append((sim.now, "added", shard))
+
+    def _remove(self, shard: int):
+        kv = self.kv
+        sim = kv.cluster.sim
+        if not kv.members[shard]:
+            raise ConfigError(f"shard {shard} is not a member")
+        survivors = len(kv.member_shards()) - 1
+        if survivors < kv.cfg.replication:
+            raise ConfigError(
+                f"removing shard {shard} leaves {survivors} members, "
+                f"fewer than replication={kv.cfg.replication}"
+            )
+        self.events.append((sim.now, "draining", shard))
+        # Ring shrinks first; the departing shard keeps serving its
+        # copies (placement still routes to it) until keys migrate.
+        deltas = kv.ring.remove_shard(shard)
+        plan = self._plan_moves(deltas, affected=shard)
+        yield from self._run_batches(plan)
+        yield from self._drain_and_prune([idx for _b, idx, _p in plan])
+        kv.deactivate_shard(shard)
+        self.stats.shards_removed += 1
+        self.events.append((sim.now, "removed", shard))
+
+    def _plan_moves(
+        self, deltas: List[RangeDelta], affected: int
+    ) -> List[Tuple[int, int, Tuple[int, ...]]]:
+        """The migration work list: ``(batch, obj_id, new_placement)``
+        sorted by batch then key.  Keys whose *primary* moved batch by
+        the vnode whose arc they sit on (per-vnode handoff); keys where
+        ``affected`` only enters/leaves the backup tail share one final
+        batch (replication fan-in, no ownership handshake per vnode)."""
+        kv = self.kv
+        arcs = {d.vnode: d for d in deltas}
+        backup_batch = (
+            max(arcs) + 1 if arcs else 0
+        )  # after every vnode batch
+        plan: List[Tuple[int, int, Tuple[int, ...]]] = []
+        for idx in range(kv.cfg.n_objects):
+            key = kv.key_name(idx)
+            new_place = kv.ring.replicas(key, kv.cfg.replication)
+            if tuple(new_place) == tuple(kv._placement[idx][: len(new_place)]):
+                # Placement prefix unchanged — but a scale-in still has
+                # to migrate keys keeping the leaver only in a promoted
+                # tail; those are pruned with the rest below.
+                if affected not in kv._placement[idx]:
+                    continue
+            h = kv.ring.key_hash(key)
+            batch = backup_batch
+            for vnode in sorted(arcs):
+                if arcs[vnode].covers(h):
+                    batch = vnode
+                    break
+            plan.append((batch, idx, new_place))
+        plan.sort()
+        return plan
+
+    def _run_batches(self, plan: List[Tuple[int, int, Tuple[int, ...]]]):
+        kv = self.kv
+        sim = kv.cluster.sim
+        current_batch: Optional[int] = None
+        for batch, idx, new_place in plan:
+            if batch != current_batch:
+                if current_batch is not None:
+                    # Close the previous batch: redirect its writers.
+                    kv.epoch += 1
+                current_batch = batch
+                self.stats.vnode_handoffs += 1
+                yield sim.timeout(self.handoff_fixed_ns)
+            yield from self._migrate_key(idx, new_place)
+        if current_batch is not None:
+            kv.epoch += 1
+
+    def _drain_and_prune(self, moved: List[int]):
+        """Double-read grace, then collapse the moved keys' placements
+        to exactly the fresh-ring replica lists."""
+        kv = self.kv
+        sim = kv.cluster.sim
+        yield sim.timeout(self.drain_ns)
+        for idx in moved:
+            new_place = kv.ring.replicas(
+                kv.key_name(idx), kv.cfg.replication
+            )
+            kv._placement[idx] = tuple(new_place)
+            kv.double_read.discard(idx)
+            kv.hot_replicas.pop(idx, None)
+        if moved:
+            kv.epoch += 1
+
+    # ------------------------------------------------------------------
+    # per-key migration
+    # ------------------------------------------------------------------
+    def _migrate_key(self, idx: int, new_place: Tuple[int, ...]):
+        """Lock-copy-flip-unlock for one key (a sim generator).
+
+        The lock is applied before the first yield, so no writer or
+        commit handler can interleave with the lock check; after every
+        subsequent yield the owner token is revalidated — a source
+        crash clears it (re-sync wipes lock owners) and the key simply
+        restarts from the promoted primary."""
+        kv = self.kv
+        sim = kv.cluster.sim
+        while True:
+            src = kv.current_primary_by_index(idx)
+            if src is None:
+                yield sim.timeout(OUTAGE_POLL_NS)
+                continue
+            store = kv.stores[src]
+            version = store.current_version(idx)
+            if is_locked(version):
+                self.stats.lock_waits += 1
+                yield sim.timeout(LOCK_SPIN_NS)
+                continue
+            token = next(self._tokens)
+            kv.lock_owners[src][idx] = token
+            node = kv.shards[src]
+            core = kv.next_writer_core(src)
+            floor = kv.cfg.costs.writer_block_ns
+            latency = node.chip.write_block(
+                core,
+                store.version_addr(idx),
+                lock_version(version).to_bytes(8, "little"),
+            )
+            # Readers may observe the odd version from here on: the key
+            # is in its double-read window before the first yield, so a
+            # detecting protocol always has a committed copy to walk to.
+            kv.double_read.add(idx)
+            yield sim.timeout(max(latency, floor))
+            if not self._still_mine(src, idx, token):
+                self.stats.migration_retries += 1
+                continue
+
+            lost = False
+            for dest in [s for s in new_place if idx not in kv.stores[s]]:
+                yield from self._copy_object(idx, dest, version)
+                if not self._still_mine(src, idx, token):
+                    lost = True
+                    break
+            if lost:
+                self.stats.migration_retries += 1
+                continue
+
+            old_place = kv._placement[idx]
+            kv._placement[idx] = tuple(new_place) + tuple(
+                s for s in old_place if s not in new_place
+            )
+            # Unlock the source: committed version back, token dropped.
+            # (Functionally first — the token check above means no one
+            # else wrote the header while we held it.)
+            del kv.lock_owners[src][idx]
+            latency = node.chip.write_block(
+                core,
+                store.version_addr(idx),
+                version.to_bytes(8, "little"),
+            )
+            yield sim.timeout(max(latency, floor))
+            self.stats.keys_migrated += 1
+            return
+
+    def _still_mine(self, src: int, idx: int, token: int) -> bool:
+        return (
+            self.kv.serving[src]
+            and self.kv.lock_owners[src].get(idx) == token
+        )
+
+    def _copy_object(self, idx: int, dest: int, version: int):
+        """Install object ``idx``'s committed image ``version`` on
+        ``dest`` and charge the copy through the destination's timed
+        memory hierarchy block by block.  The destination is not yet
+        routed to, so intermediate states are unobservable — the time
+        and the coherence traffic are what matter."""
+        kv = self.kv
+        sim = kv.cluster.sim
+        payload = stamped_payload(version, kv.cfg.payload_len)
+        dstore = kv.stores[dest]
+        if idx in dstore:
+            dstore.phys.write(
+                dstore.handle(idx).base_addr,
+                kv.layout.pack(version, payload),
+            )
+        else:
+            dstore.create(idx, payload, version=version)
+        handle = dstore.handle(idx)
+        image = dstore.phys.read(handle.base_addr, handle.wire_size)
+        node = kv.shards[dest]
+        core = kv.next_writer_core(dest)
+        floor = kv.cfg.costs.writer_block_ns
+        for off in range(0, len(image), CACHE_BLOCK):
+            latency = node.chip.write_block(
+                core, handle.base_addr + off, image[off : off + CACHE_BLOCK]
+            )
+            yield sim.timeout(max(latency, floor))
+        self.stats.replica_copies += 1
+
+    # ------------------------------------------------------------------
+    # hotspot rebalancing
+    # ------------------------------------------------------------------
+    def start_rebalancer(
+        self,
+        cfg: Optional[RebalanceConfig] = None,
+        until_ns: float = float("inf"),
+    ):
+        """Run the promote/demote policy loop until ``until_ns`` (or
+        :meth:`stop_rebalancer`).  An unbounded loop keeps the event
+        heap non-empty forever — pass ``until_ns`` when the run relies
+        on ``sim.run()`` draining."""
+        cfg = cfg or RebalanceConfig()
+        cfg.validate()
+        self._stop_rebalance = False
+        return self.kv.cluster.sim.process(
+            self._rebalance_loop(cfg, until_ns)
+        )
+
+    def stop_rebalancer(self) -> None:
+        self._stop_rebalance = True
+
+    def _rebalance_loop(self, cfg: RebalanceConfig, until_ns: float):
+        kv = self.kv
+        sim = kv.cluster.sim
+        last = list(kv.key_reads)
+        while not self._stop_rebalance and sim.now < until_ns:
+            yield sim.timeout(min(cfg.interval_ns, until_ns - sim.now))
+            if self._stop_rebalance:
+                return
+            current = list(kv.key_reads)
+            delta = [c - p for c, p in zip(current, last)]
+            last = current
+            if self._busy:
+                # A topology change owns placement right now; skip the
+                # interval rather than interleave with its yields.
+                continue
+            total = sum(delta)
+            for idx in sorted(kv.hot_replicas):
+                share = delta[idx] / total if total else 0.0
+                if share < cfg.cool_share:
+                    self._demote(idx)
+            if total < cfg.min_reads:
+                continue
+            ranked = sorted(
+                range(len(delta)), key=lambda i: (-delta[i], i)
+            )
+            for idx in ranked:
+                if delta[idx] / total < cfg.hot_share:
+                    break
+                yield from self._promote(idx, cfg)
+
+    def _promote(self, idx: int, cfg: RebalanceConfig):
+        """Add one extra read replica for hot key ``idx`` (lock, timed
+        copy, placement append, epoch bump — the migration copy path,
+        so the new copy is committed-fresh and replicated-to)."""
+        kv = self.kv
+        if self._busy or idx in kv.double_read:
+            return
+        extras = kv.hot_replicas.get(idx, [])
+        if len(extras) >= cfg.max_extra:
+            return
+        placed = set(kv._placement[idx])
+        # Coldest serving member first: routed-read counters are the
+        # load signal (deterministic), so a promotion lands where it
+        # relieves pressure instead of stacking onto a busy shard.
+        routed = [s.reads_routed for s in kv.merged_shard_stats()]
+        candidates = sorted(
+            (
+                s
+                for s in kv.member_shards()
+                if kv.serving[s] and s not in placed
+            ),
+            key=lambda s: (routed[s], s),
+        )
+        if not candidates:
+            return
+        dest = candidates[0]
+        self._busy = True
+        try:
+            yield from self._migrate_key(
+                idx, tuple(kv._placement[idx]) + (dest,)
+            )
+        finally:
+            self._busy = False
+        kv.double_read.discard(idx)
+        kv.hot_replicas.setdefault(idx, []).append(dest)
+        kv.epoch += 1
+        self.stats.hot_promotions += 1
+        self.events.append((kv.cluster.sim.now, "promote", idx))
+
+    def _demote(self, idx: int) -> None:
+        """Drop key ``idx``'s promoted extras (instant: removing a read
+        replica needs no copy, only a view change)."""
+        kv = self.kv
+        extras = kv.hot_replicas.pop(idx, [])
+        if not extras:
+            return
+        gone = set(extras)
+        kv._placement[idx] = tuple(
+            s for s in kv._placement[idx] if s not in gone
+        )
+        kv.epoch += 1
+        self.stats.hot_demotions += 1
+        self.events.append((kv.cluster.sim.now, "demote", idx))

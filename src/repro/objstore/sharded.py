@@ -108,6 +108,31 @@ REPLY_FENCED = b"\x02"
 # ----------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class RangeDelta:
+    """One moved arc of the ring: key hashes in the cyclic half-open
+    interval ``[lo, hi)`` changed primary owner from ``old_shard`` to
+    ``new_shard`` because ``new_shard``'s virtual node ``vnode`` was
+    inserted (or removed — then the names read the other way: the
+    departing vnode's arc is handed *to* ``new_shard``).  ``lo >= hi``
+    means the arc wraps through zero.  Incremental
+    :meth:`HashRing.add_shard` / :meth:`HashRing.remove_shard` report
+    exactly these arcs, and only these arcs, so a migration plan can
+    touch only the keys that actually moved."""
+
+    lo: int
+    hi: int
+    old_shard: int
+    new_shard: int
+    vnode: int
+
+    def covers(self, h: int) -> bool:
+        """Whether key hash ``h`` lies on this arc."""
+        if self.lo < self.hi:
+            return self.lo <= h < self.hi
+        return h >= self.lo or h < self.hi
+
+
 class HashRing:
     """Consistent-hash ring with virtual nodes.
 
@@ -116,6 +141,15 @@ class HashRing:
     hashes come from :func:`repro.common.rng.derive_seed`, so the
     mapping is a deterministic function of ``(seed, shard ids, key)``
     — identical across runs, processes, and worker pools.
+
+    Points are kept as ``(hash, shard, vnode)`` triples sorted on the
+    *full* tuple: two vnodes colliding on the same 64-bit hash order by
+    ``(shard, vnode)``, never by construction accident, so the mapping
+    survives incremental :meth:`add_shard` / :meth:`remove_shard` in
+    any order — the incremental ring is always point-for-point
+    identical to a fresh build over the same member set (the property
+    that makes a finished migration indistinguishable from a fresh
+    deployment).
     """
 
     def __init__(self, shard_ids: Iterable[int], vnodes: int = 64, seed: int = 1):
@@ -125,18 +159,30 @@ class HashRing:
         if vnodes < 1:
             raise ConfigError(f"vnodes must be >= 1: {vnodes}")
         self.seed = seed
+        self.vnodes = vnodes
         self.shard_ids = shard_ids
-        points: List[Tuple[int, int]] = []
+        points: List[Tuple[int, int, int]] = []
         for shard in shard_ids:
             for v in range(vnodes):
-                points.append((derive_seed(seed, "ring", shard, v), shard))
+                points.append((self._point(shard, v), shard, v))
         points.sort()
         self._points = points
-        self._hashes = [h for h, _ in points]
+        self._hashes = [p[0] for p in points]
+
+    def _point(self, shard: int, vnode: int) -> int:
+        """The 64-bit ring position of one virtual node (overridable so
+        the collision regression tests can force equal points)."""
+        return derive_seed(self.seed, "ring", shard, vnode)
+
+    def key_hash(self, key: str) -> int:
+        """The 64-bit ring position of ``key`` (what
+        :class:`RangeDelta` arcs cover)."""
+        return derive_seed(self.seed, "ring-key", key)
 
     def _slot(self, key: str) -> int:
-        h = derive_seed(self.seed, "ring-key", key)
-        return bisect.bisect_right(self._hashes, h) % len(self._points)
+        return bisect.bisect_right(self._hashes, self.key_hash(key)) % len(
+            self._points
+        )
 
     def primary(self, key: str) -> int:
         """The shard owning ``key``."""
@@ -173,6 +219,85 @@ class HashRing:
             )
         return tuple(out)
 
+    # ------------------------------------------------------------------
+    # incremental membership (live resharding)
+    # ------------------------------------------------------------------
+    def add_shard(self, shard: int) -> List[RangeDelta]:
+        """Insert ``shard``'s vnode points incrementally and report the
+        exact arcs whose primary owner changed.
+
+        Only the moved ranges are recomputed: each of the ``vnodes``
+        new points takes over the arc between its predecessor point and
+        itself, *iff* it becomes the head of its hash run (the lookup
+        is ``bisect_right``, so within a run of equal hashes only the
+        tuple-smallest point ever owns keys — a collision-shadowed
+        point owns nothing and reports nothing).  Arcs already handed
+        to an earlier vnode of the same new shard are skipped too, so
+        the deltas name every key whose primary moved exactly once."""
+        if shard in self.shard_ids:
+            raise ConfigError(f"shard {shard} is already a ring member")
+        deltas: List[RangeDelta] = []
+        for v in range(self.vnodes):
+            point = (self._point(shard, v), shard, v)
+            i = bisect.bisect_left(self._points, point)
+            head = i == 0 or self._points[i - 1][0] < point[0]
+            old_owner = self._points[i % len(self._points)][1]
+            self._points.insert(i, point)
+            self._hashes.insert(i, point[0])
+            if head and old_owner != shard:
+                lo = self._points[(i - 1) % len(self._points)][0]
+                deltas.append(
+                    RangeDelta(
+                        lo=lo,
+                        hi=point[0],
+                        old_shard=old_owner,
+                        new_shard=shard,
+                        vnode=v,
+                    )
+                )
+        self.shard_ids.append(shard)
+        return deltas
+
+    def remove_shard(self, shard: int) -> List[RangeDelta]:
+        """Remove ``shard``'s vnode points incrementally and report the
+        exact arcs handed to their successors.
+
+        The per-vnode deltas compose: when several of the departing
+        shard's points are ring-adjacent, the intermediate self-handoffs
+        are elided and the surviving delta's arc reaches back over the
+        whole run, so coverage stays exact."""
+        if shard not in self.shard_ids:
+            raise ConfigError(f"shard {shard} is not a ring member")
+        if len(self.shard_ids) == 1:
+            raise ConfigError("cannot remove the last ring member")
+        deltas: List[RangeDelta] = []
+        for v in range(self.vnodes):
+            point = (self._point(shard, v), shard, v)
+            i = bisect.bisect_left(self._points, point)
+            if i >= len(self._points) or self._points[i] != point:
+                raise ConfigError(  # pragma: no cover - internal invariant
+                    f"ring point for shard {shard} vnode {v} missing"
+                )
+            head = i == 0 or self._points[i - 1][0] < point[0]
+            del self._points[i]
+            del self._hashes[i]
+            if head:
+                n = len(self._points)
+                new_owner = self._points[i % n][1]
+                if new_owner != shard:
+                    lo = self._points[(i - 1) % n][0]
+                    deltas.append(
+                        RangeDelta(
+                            lo=lo,
+                            hi=point[0],
+                            old_shard=shard,
+                            new_shard=new_owner,
+                            vnode=v,
+                        )
+                    )
+        self.shard_ids.remove(shard)
+        return deltas
+
 
 # ----------------------------------------------------------------------
 # configuration
@@ -197,6 +322,13 @@ class ShardedConfig:
     version_bits: int = 16
     vnodes: int = 64
     seed: int = 1
+    #: Shard slots provisioned in the cluster beyond the ``n_shards``
+    #: initial ring members (0 = no headroom).  Spare slots get nodes,
+    #: stores, and registered RPC endpoints at construction but join
+    #: the ring only when a :class:`~repro.objstore.reshard.
+    #: ReshardManager` activates them — the capacity a live scale-out
+    #: grows into.
+    max_shards: int = 0
     #: Time a read gives the primary before falling back to a backup
     #: replica (0 disables fallback; reads then retry the primary only).
     fallback_after_ns: float = 0.0
@@ -223,17 +355,27 @@ class ShardedConfig:
             raise ConfigError("need at least one virtual node per shard")
         if self.rpc_workers < 1:
             raise ConfigError("need at least one RPC worker per shard")
+        if self.max_shards and self.max_shards < self.n_shards:
+            raise ConfigError(
+                f"max_shards {self.max_shards} cannot be below n_shards "
+                f"{self.n_shards}"
+            )
 
     @property
     def clients(self) -> int:
         return self.n_clients or self.n_shards
 
     @property
+    def provisioned_shards(self) -> int:
+        """Shard slots the cluster is built with (members + spares)."""
+        return max(self.n_shards, self.max_shards)
+
+    @property
     def payload_len(self) -> int:
         return self.object_size - 8
 
     def cluster_config(self) -> ClusterConfig:
-        kwargs = {"nodes": self.n_shards + self.clients}
+        kwargs = {"nodes": self.provisioned_shards + self.clients}
         if self.node is not None:
             kwargs["node"] = self.node
         if self.fabric is not None:
@@ -325,6 +467,13 @@ class ShardWriteStats:
     #: Puts re-routed away from this shard after its crash was detected
     #: mid-call (the typed-error path; the put lands on the promotee).
     crash_redirects: int = 0
+    #: Puts fenced off this shard because a migration or replica
+    #: promotion moved the object's primary between issue and reply.
+    #: Charged to the *fencing* shard (the stale owner), exactly once
+    #: per re-route, so redirect counters pair with the re-issue that
+    #: lands on the new owner and are never double-charged or orphaned
+    #: when the key changes hands again mid-retry.
+    reshard_redirects: int = 0
 
 
 class _ShardBinding:
@@ -364,12 +513,15 @@ class ReaderSession:
         self._wire = kv.layout.wire_size(kv.cfg.payload_len)
         self._buf = node.alloc_buffer(self._wire)
         self.stats: List[ShardStats] = [
-            ShardStats() for _ in range(kv.cfg.n_shards)
+            ShardStats() for _ in range(kv.provisioned)
         ]
         self._protocols: List["ReadProtocol"] = [
             kv.protocol_cls(_ShardBinding(kv, shard, node, self.stats[shard]))
-            for shard in range(kv.cfg.n_shards)
+            for shard in range(kv.provisioned)
         ]
+        # Round-robin cursor over a hot key's promoted replica set
+        # (private per session, so rotation stays deterministic).
+        self._hot_rr = 0
 
     def attempt(self, shard: int, idx: int, deadline: float):
         """One protocol read of object ``idx``'s copy on ``shard`` (a
@@ -385,7 +537,10 @@ class ReaderSession:
         yield from self._protocols[shard].read_once(
             handle, self._buf, self._wire, deadline
         )
-        return len(stats.op_latency) > completed_before
+        consumed = len(stats.op_latency) > completed_before
+        if consumed:
+            self.kv.key_reads[idx] += 1
+        return consumed
 
     def last_read(self, shard: int) -> Tuple[Optional[int], Optional[bytes]]:
         """The ``(version, payload)`` observation of the most recent
@@ -429,17 +584,44 @@ class ReaderSession:
                 # Wait out a slice of it (bounded by the deadline).
                 yield sim.timeout(min(OUTAGE_POLL_NS, t_end - sim.now))
                 continue
-            order = route if fallback_ns > 0 else route[:1]
+            # During a migration's double-read window every reader must
+            # consult both owners, even with fallback disabled: the walk
+            # covers old and new placement so a read is never served a
+            # half-migrated image without the protocol's detection pass.
+            order = (
+                route
+                if fallback_ns > 0 or idx in kv.double_read
+                else route[:1]
+            )
+            promoted = kv.hot_replicas.get(idx)
+            if promoted:
+                # Hot key: rotate the first attempt across the primary
+                # and its promoted read replicas (deterministic per
+                # session; losers keep their walk position).
+                cands = [route[0]] + [
+                    s for s in promoted if s in route and s != route[0]
+                ]
+                if len(cands) > 1:
+                    head = cands[self._hot_rr % len(cands)]
+                    self._hot_rr += 1
+                    if head != order[0]:
+                        order = (head,) + tuple(
+                            s for s in order if s != head
+                        )
             epoch = kv.epoch
             for attempt, shard in enumerate(order):
                 stats = self.stats[shard]
                 stats.reads_routed += 1
                 if attempt > 0:
                     stats.fallback_attempts += 1
+                # Non-final attempts get a grace slice; with fallback
+                # disabled (double-read walk) the reroute bound serves
+                # as the slice so earlier owners still yield the floor.
+                grace = fallback_ns if fallback_ns > 0 else reroute_ns
                 deadline = (
                     t_end
                     if attempt == len(order) - 1
-                    else min(t_end, sim.now + fallback_ns)
+                    else min(t_end, sim.now + grace)
                 )
                 deadline = min(deadline, sim.now + reroute_ns)
                 ok = yield from self.attempt(shard, idx, deadline)
@@ -480,10 +662,14 @@ class ShardedKV:
         self.mechanism = self.protocol_cls.make_mechanism(self.bound_cfg)
         self.layout = self.mechanism.layout if self.mechanism else RawLayout()
 
+        #: Shard slots built into the cluster: ring members first, then
+        #: spare slots a live scale-out can activate.
+        self.provisioned = cfg.provisioned_shards
         self.cluster = Cluster(cfg.cluster_config())
-        self.shards = [self.cluster.node(i) for i in range(cfg.n_shards)]
+        self.shards = [self.cluster.node(i) for i in range(self.provisioned)]
         self.clients = [
-            self.cluster.node(cfg.n_shards + i) for i in range(cfg.clients)
+            self.cluster.node(self.provisioned + i)
+            for i in range(cfg.clients)
         ]
         self.ring = HashRing(range(cfg.n_shards), vnodes=cfg.vnodes, seed=cfg.seed)
         self.stores = [
@@ -501,19 +687,41 @@ class ShardedKV:
             for shard in replicas:
                 self.stores[shard].create(idx, stamped_payload(0, cfg.payload_len))
 
-        self.write_stats = [ShardWriteStats() for _ in range(cfg.n_shards)]
+        self.write_stats = [ShardWriteStats() for _ in range(self.provisioned)]
         self.write_latency = Samples("sharded_write_ns")
         self.sessions: List[ReaderSession] = []
-        self._wcore = [0] * cfg.n_shards
+        self._wcore = [0] * self.provisioned
         self._put_seq = itertools.count()
 
-        # -- failover view (mutated only by objstore.failover) ---------
-        #: Configuration epoch: bumped on every crash/rejoin; stamped
-        #: into write and lock RPCs, checked by every handler (fencing).
+        # -- failover/reshard view (mutated only by objstore.failover
+        #    and objstore.reshard) --------------------------------------
+        #: Configuration epoch: bumped on every crash/rejoin and every
+        #: resharding step; stamped into write and lock RPCs, checked by
+        #: every handler (fencing).
         self.epoch = 0
+        #: Per-slot ring membership.  Spare slots are provisioned but
+        #: not members until a scale-out activates them; a scale-in
+        #: demotes a member back to a spare.
+        self.members = [i < cfg.n_shards for i in range(self.provisioned)]
         #: Per-shard serving flag.  A crashed shard is not serving; a
         #: recovering shard stays non-serving until its re-sync ends.
-        self.serving = [True] * cfg.n_shards
+        #: Spare (non-member) slots are not serving either — their
+        #: handlers fence everything until activation.
+        self.serving = [i < cfg.n_shards for i in range(self.provisioned)]
+        #: Object ids currently inside a migration's double-read
+        #: window: readers walk *all* serving copies (old and new
+        #: owners) for these even with fallback disabled, so the window
+        #: never narrows a hot key down to a single mid-handoff copy.
+        self.double_read: set = set()
+        #: Promoted extra read replicas per hot object id (appended to
+        #: the placement tail by the rebalance policy); lookups rotate
+        #: deterministically over primary + promoted copies.
+        self.hot_replicas: Dict[int, List[int]] = {}
+        #: Per-object consumed-read counters — the load signal the
+        #: hotspot detector samples (plain lookups only; transactional
+        #: reads always need the primary and gain nothing from extra
+        #: read replicas).
+        self.key_reads = [0] * cfg.n_objects
         #: Upper bound on one read attempt's deadline so a crash
         #: mid-attempt re-routes promptly; ``inf`` (the default, no
         #: failover manager attached) preserves the plain semantics.
@@ -529,7 +737,7 @@ class ShardedKV:
         #: the token so a straggler can never act on someone else's
         #: lock.  Cleared per shard by :meth:`resync_shard`.
         self.lock_owners: List[Dict[int, int]] = [
-            {} for _ in range(cfg.n_shards)
+            {} for _ in range(self.provisioned)
         ]
 
         self._shard_rpc = [
@@ -540,7 +748,7 @@ class ShardedKV:
             RpcEndpoint(node, workers=cfg.rpc_workers, costs=cfg.costs)
             for node in self.clients
         ]
-        for shard in range(cfg.n_shards):
+        for shard in range(self.provisioned):
             self._shard_rpc[shard].register(
                 "shard_put", self._make_update_handler(shard, replicate=True)
             )
@@ -613,6 +821,48 @@ class ShardedKV:
         """Readmit a re-synced shard (as a backup: :meth:`mark_down`
         already demoted it) and bump the epoch for the view change."""
         self.serving[shard] = True
+        self.epoch += 1
+
+    # ------------------------------------------------------------------
+    # elastic membership (mutated only by objstore.reshard)
+    # ------------------------------------------------------------------
+    def member_shards(self) -> List[int]:
+        """The current ring members, ascending (spares excluded)."""
+        return [s for s in range(self.provisioned) if self.members[s]]
+
+    def all_members_serving(self) -> bool:
+        """False while any ring *member* is crashed or re-syncing
+        (spare slots are always non-serving and don't count)."""
+        return all(
+            self.serving[s]
+            for s in range(self.provisioned)
+            if self.members[s]
+        )
+
+    def activate_shard(self, shard: int) -> None:
+        """Admit spare slot ``shard`` as a serving ring member and bump
+        the epoch (the ring itself is grown by the reshard manager,
+        which then migrates the moved keys onto the new member)."""
+        if not 0 <= shard < self.provisioned:
+            raise ConfigError(f"no provisioned shard slot {shard}")
+        if self.members[shard]:
+            raise ConfigError(f"shard {shard} is already a member")
+        self.members[shard] = True
+        self.serving[shard] = True
+        self.epoch += 1
+
+    def deactivate_shard(self, shard: int) -> None:
+        """Demote ``shard`` back to a spare slot after a scale-in has
+        drained it (no placement may still route to it)."""
+        if not self.members[shard]:
+            raise ConfigError(f"shard {shard} is not a member")
+        for idx, place in enumerate(self._placement):
+            if shard in place:
+                raise ConfigError(
+                    f"shard {shard} still hosts object {idx}; migrate first"
+                )
+        self.members[shard] = False
+        self.serving[shard] = False
         self.epoch += 1
 
     def resync_shard(self, shard: int) -> int:
@@ -737,11 +987,23 @@ class ShardedKV:
                 )
                 if isinstance(reply, ShardCrashedError):
                     ws.crash_redirects += 1
+                    if sim.now >= t_end:
+                        return None
                     continue
                 if reply == REPLY_OK:
                     return reply
                 if reply == REPLY_FENCED:
-                    continue  # the handler counted it; view re-read above
+                    # The handler counted the fence; if the fence was a
+                    # migration/promotion moving the primary out from
+                    # under us, charge the redirect to the stale owner.
+                    # Deadline check first: a put redirected mid-
+                    # migration carries its *remaining* budget — a
+                    # permanently-migrating key must not spin forever.
+                    if self.current_primary_by_index(idx) != primary:
+                        ws.reshard_redirects += 1
+                    if sim.now >= t_end:
+                        return None
+                    continue  # view re-read above
                 ws.write_retries += 1
                 bounces += 1
                 if sim.now >= t_end:
@@ -885,7 +1147,7 @@ class ShardedKV:
     # ------------------------------------------------------------------
     def merged_shard_stats(self) -> List[ShardStats]:
         """Per-shard read stats folded across every reader session."""
-        merged = [ShardStats() for _ in range(self.cfg.n_shards)]
+        merged = [ShardStats() for _ in range(self.provisioned)]
         for session in self.sessions:
             for shard, stats in enumerate(session.stats):
                 merged[shard].merge(stats)
@@ -920,7 +1182,9 @@ class ShardedKV:
                     "write_retries": ws.write_retries,
                     "fenced_rejects": ws.fenced_rejects,
                     "crash_redirects": ws.crash_redirects,
+                    "reshard_redirects": ws.reshard_redirects,
                     "serving": int(self.serving[shard]),
+                    "member": int(self.members[shard]),
                 }
             )
         return rows

@@ -90,6 +90,9 @@ class ObjectStore:
     def __len__(self) -> int:
         return len(self._objects)
 
+    def __contains__(self, obj_id: int) -> bool:
+        return obj_id in self._objects
+
     def object_ids(self) -> List[int]:
         return list(self._objects)
 

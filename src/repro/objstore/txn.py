@@ -231,12 +231,12 @@ class TxnManager:
 
     def __init__(self, kv: ShardedKV):
         self.kv = kv
-        self.stats = [TxnStats() for _ in range(kv.cfg.n_shards)]
+        self.stats = [TxnStats() for _ in range(kv.provisioned)]
         self.sessions: List["TxnSession"] = []
         #: Owner tokens, one per commit attempt (deterministic), so
         #: handlers can tell this attempt's locks from anyone else's.
         self._tokens = itertools.count(1)
-        for shard in range(kv.cfg.n_shards):
+        for shard in range(kv.provisioned):
             endpoint = kv.shard_rpc(shard)
             endpoint.register("txn_lock", self._make_lock_handler(shard))
             endpoint.register("txn_validate", self._make_validate_handler(shard))

@@ -20,6 +20,7 @@ from typing import Callable, Dict, Tuple
 
 from repro.harness.report import scaled_duration
 from repro.workloads.availability import FailoverMixConfig, run_failover_mix
+from repro.workloads.elastic import ElasticConfig, run_elastic
 from repro.workloads.fuzz import fuzz_round
 from repro.workloads.txn_mix import TxnMixConfig, run_txn_mix
 from repro.workloads.ycsb import YcsbConfig, run_ycsb
@@ -127,6 +128,33 @@ def atomicity_fuzz(scale: float = 1.0) -> Dict[str, float]:
     return {"ops": rounds, "reads_consumed": consumed, "sim_ns": sim_ns}
 
 
+def elastic_scaling(scale: float = 1.0) -> Dict[str, float]:
+    """The live-resharding mix: the flagship ``elastic_scaling`` sweep
+    point (4 -> 8 shard scale-out mid-run) *without* the fresh-baseline
+    comparison run, so the timing covers exactly one elastic run — the
+    migration machinery (handoffs, timed copies, double-read walks,
+    writer redirects) is what this scenario prices."""
+    cfg = ElasticConfig(
+        duration_ns=scaled_duration(240_000.0, scale),
+        seed=43,
+        compare_baseline=False,
+    )
+    result = run_elastic(cfg)
+    ops = (
+        result.pre_reads
+        + result.mid_reads
+        + result.post_reads
+        + result.pre_writes
+        + result.mid_writes
+        + result.post_writes
+    )
+    return {
+        "ops": ops,
+        "keys_migrated": result.reshard.keys_migrated,
+        "sim_ns": cfg.duration_ns,
+    }
+
+
 #: Registered perf scenarios, in report order.
 SCENARIOS: Dict[str, ScenarioFn] = {
     "ycsb_latency": ycsb_latency,
@@ -134,6 +162,7 @@ SCENARIOS: Dict[str, ScenarioFn] = {
     "failover_availability": failover_availability,
     "gray_availability": gray_availability,
     "atomicity_fuzz": atomicity_fuzz,
+    "elastic_scaling": elastic_scaling,
 }
 
 

@@ -6,6 +6,11 @@ from repro.workloads.availability import (
     FailoverResult,
     run_failover_mix,
 )
+from repro.workloads.elastic import (
+    ElasticConfig,
+    ElasticResult,
+    run_elastic,
+)
 from repro.workloads.generators import (
     FIG1_SIZES,
     FIG7_SIZES,
@@ -37,6 +42,8 @@ __all__ = [
     "FIG1_SIZES",
     "FIG7_SIZES",
     "FIG8_SIZES",
+    "ElasticConfig",
+    "ElasticResult",
     "FailoverMixConfig",
     "FailoverResult",
     "MicrobenchConfig",
@@ -49,6 +56,7 @@ __all__ = [
     "YcsbConfig",
     "YcsbResult",
     "ZipfianPicker",
+    "run_elastic",
     "run_failover_mix",
     "run_microbench",
     "run_txn_mix",

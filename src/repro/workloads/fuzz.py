@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.common.rng import derive_seed, make_rng
 from repro.faults import FaultInjector, FaultSchedule, FaultWindow
 from repro.objstore.failover import FailoverManager, FailurePlan
+from repro.objstore.reshard import ReshardManager
 from repro.objstore.sharded import ShardedConfig, ShardedKV
 from repro.objstore.txn import TxnManager
 
@@ -33,7 +34,7 @@ DETECTING = ("sabre", "percl_versions", "checksum", "drtm_lock")
 class FuzzOutcome:
     """Aggregated counters of one fuzz round."""
 
-    def __init__(self, kv, manager, injector=None, faults=None):
+    def __init__(self, kv, manager, injector=None, faults=None, reshard=None):
         reader_stats = kv.all_reader_stats()
         txn = manager.merged_stats()
         self.undetected_violations = sum(
@@ -71,6 +72,15 @@ class FuzzOutcome:
         self.watchdog_rearms = sum(
             e.watchdog_rearms for e in kv.all_endpoints()
         )
+        self.shards_added = reshard.stats.shards_added if reshard else 0
+        self.keys_migrated = reshard.stats.keys_migrated if reshard else 0
+        self.vnode_handoffs = reshard.stats.vnode_handoffs if reshard else 0
+        self.migration_retries = (
+            reshard.stats.migration_retries if reshard else 0
+        )
+        self.reshard_redirects = sum(
+            ws.reshard_redirects for ws in kv.write_stats
+        )
         self.fingerprint = (
             self.undetected_violations,
             self.torn_reads_observed,
@@ -86,6 +96,11 @@ class FuzzOutcome:
             self.partition_windows,
             self.partition_refusals,
             self.watchdog_rearms,
+            self.shards_added,
+            self.keys_migrated,
+            self.vnode_handoffs,
+            self.migration_retries,
+            self.reshard_redirects,
             [s.retries for s in reader_stats],
             manager.txn_rows(),
             kv.shard_load(),
@@ -102,6 +117,7 @@ def fuzz_round(
     gray_windows: int = 0,
     partition_windows: int = 0,
     skew_max_ns: float = 0.0,
+    reshard_adds: int = 0,
 ) -> FuzzOutcome:
     """One randomized interleaving: the schedule (process counts, key
     choices, pacing, transaction shapes) all derive from ``seed``.
@@ -118,10 +134,18 @@ def fuzz_round(
     ``skew_max_ns`` gives every node a seed-derived clock skew in
     ``[0, skew_max_ns]``, so lease views go stale and watchdog
     deadlines stretch.  All three compose with each other and with the
-    crash lane."""
+    crash lane.
+
+    ``reshard_adds > 0`` schedules a live scale-out of that many spare
+    shards at a seed-derived mid-run time — the elastic lane.  It
+    composes with everything above: a migration overlapping a gray
+    window, a partition, or a crash of the very shard a key is
+    migrating from is exactly the interleaving this lane exists to
+    buy."""
     rng = make_rng(seed, "fuzz-schedule", mechanism, n_shards)
     cfg = ShardedConfig(
         n_shards=n_shards,
+        max_shards=n_shards + reshard_adds,
         n_clients=2,
         replication=min(2, n_shards),
         mechanism=mechanism,
@@ -131,6 +155,12 @@ def fuzz_round(
     )
     kv = ShardedKV(cfg)
     manager = TxnManager(kv)
+    reshard = None
+    if reshard_adds:
+        reshard = ReshardManager(kv)
+        reshard.scale_out(
+            reshard_adds, at_ns=duration_ns * rng.uniform(0.2, 0.5)
+        )
     injector = None
     if crash_cycles:
         assert n_shards >= 2, "crash fuzzing needs a backup to promote"
@@ -230,4 +260,4 @@ def fuzz_round(
         sim.process(txn_proc(manager.session(i % cfg.clients), i))
 
     sim.run()
-    return FuzzOutcome(kv, manager, injector, faults)
+    return FuzzOutcome(kv, manager, injector, faults, reshard)

@@ -474,3 +474,61 @@ class TestFaultSweepDeterminism:
             PARTITION_AVAILABILITY_SPEC, scale=0.1, jobs=2
         ).run()
         assert repr(serial.rows) == repr(parallel.rows)
+
+
+# ----------------------------------------------------------------------
+# window-boundary metering
+# ----------------------------------------------------------------------
+class TestWindowBoundaryMetering:
+    """Pin the boundary semantics the availability metering relies on:
+    ``any_active()`` (what ``reads_during_fault`` samples at read
+    completion) treats a window as half-open ``[start, end)`` for any
+    event scheduled after the injector was built — open/close callbacks
+    were enqueued at construction, so at equal times they fire first."""
+
+    def _probed(self, windows):
+        cluster = Cluster(ClusterConfig(nodes=2))
+        RpcEndpoint(cluster.node(0), workers=1)
+        RpcEndpoint(cluster.node(1), workers=1)
+        inj = FaultInjector(cluster, FaultSchedule(windows))
+        probes = {}
+
+        def probe(t):
+            probes[t] = (inj.any_active(), inj.active_multiplier(0))
+
+        for t in (99.0, 100.0, 150.0, 200.0, 250.0):
+            cluster.sim.call_at(t, probe, t)
+        cluster.sim.run()
+        return inj, probes
+
+    def test_event_at_window_open_counts_as_during_fault(self):
+        inj, probes = self._probed(
+            [FaultWindow("gray", 100.0, 200.0, node=0, multiplier=6.0)]
+        )
+        assert probes[99.0] == (False, 1.0)
+        # t == open: the open callback fired first, so a read completing
+        # exactly at the boundary meters as a fault read.
+        assert probes[100.0] == (True, 6.0)
+        assert probes[150.0] == (True, 6.0)
+        # t == close: the close callback fired first — the window is
+        # over, the multiplier restored, nothing meters against it.
+        assert probes[200.0] == (False, 1.0)
+        assert probes[250.0] == (False, 1.0)
+        assert inj.stats.windows_closed == 1
+
+    def test_back_to_back_windows_hand_off_at_the_shared_boundary(self):
+        """Adjacent windows [100,200) + [200,300): at the shared instant
+        the first closes before the second opens, so the boundary event
+        sees exactly one window active with only the second multiplier —
+        no double-composed slowdown, no metering gap."""
+        inj, probes = self._probed(
+            [
+                FaultWindow("gray", 100.0, 200.0, node=0, multiplier=6.0),
+                FaultWindow("gray", 200.0, 300.0, node=0, multiplier=3.0),
+            ]
+        )
+        assert probes[150.0] == (True, 6.0)
+        assert probes[200.0] == (True, 3.0)
+        assert probes[250.0] == (True, 3.0)
+        assert inj.stats.gray_windows == 2
+        assert inj.stats.windows_closed == 2

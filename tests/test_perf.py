@@ -80,6 +80,7 @@ class TestBenchHarness:
             "failover_availability",
             "gray_availability",
             "atomicity_fuzz",
+            "elastic_scaling",
         }
 
     def test_unknown_scenario_rejected(self):

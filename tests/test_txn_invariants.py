@@ -97,8 +97,10 @@ class TestPlacementDeterminism:
     def _ring_bytes(seed: int, shards: int = 4, vnodes: int = 64) -> bytes:
         ring = HashRing(range(shards), vnodes=vnodes, seed=seed)
         return b"".join(
-            h.to_bytes(8, "little") + s.to_bytes(2, "little")
-            for h, s in ring._points
+            h.to_bytes(8, "little")
+            + s.to_bytes(2, "little")
+            + v.to_bytes(2, "little")
+            for h, s, v in ring._points
         )
 
     def test_ring_byte_identical_within_process(self):
@@ -114,7 +116,7 @@ class TestPlacementDeterminism:
             "ring = HashRing(range(4), vnodes=64, seed=5);"
             "import sys;"
             "blob = b''.join(h.to_bytes(8, 'little') + s.to_bytes(2, 'little')"
-            " for h, s in ring._points);"
+            " + v.to_bytes(2, 'little') for h, s, v in ring._points);"
             "sys.stdout.write(blob.hex())"
         )
         env = dict(os.environ, PYTHONHASHSEED="12345")
