@@ -51,7 +51,11 @@ promotes extra read replicas for keys concentrating more than
 them once their share falls below ``cool_share``.  Promotion reuses
 the migration copy path (lock, timed copy, placement append, epoch
 bump), so a promoted replica is committed-fresh and covered by the
-primary's replication fan-out from the moment readers can reach it.
+primary's replication fan-out from the moment readers can reach it;
+demotion mirrors the migration drain — routing stops at once but the
+ex-extra stays on the placement tail (replicated-to, readable) for
+``drain_ns`` before the placement collapses, so in-flight reads never
+land on a copy a newer write has left stale.
 
 Everything is deterministic: batch and key order are sorted, tokens
 come from a dedicated counter (disjoint from transaction tokens), and
@@ -138,7 +142,8 @@ class ReshardStats:
     #: crashed mid-copy (token revalidation caught it).
     migration_retries: int = 0
     #: Spin-waits behind a writer/transaction lock before a migration
-    #: could lock its source.
+    #: could lock its source, or behind a straggler replica update
+    #: still writing a copy a migration wants to overwrite.
     lock_waits: int = 0
     #: Total simulated time spent inside topology changes.
     migration_ns: float = 0.0
@@ -212,7 +217,12 @@ class ReshardManager:
         #: Nesting count of in-flight topology changes (scheduled plans
         #: queued behind the mutex included), for workload metering.
         self.migrating = 0
+        #: Slots claimed by a scheduled (not yet executed) scale-out /
+        #: scale-in: pending adds and pending removals.  Together with
+        #: current membership they are the *intent* every new plan is
+        #: validated against at schedule time.
         self._claimed: set = set()
+        self._leaving: set = set()
         self._stop_rebalance = False
 
     # ------------------------------------------------------------------
@@ -244,7 +254,6 @@ class ReshardManager:
                 f"{len(spares)} provisioned; raise max_shards"
             )
         chosen = spares[:count]
-        self._claimed.update(chosen)
         self.schedule([ReshardOp("add", s) for s in chosen], at_ns)
         return chosen
 
@@ -256,11 +265,48 @@ class ReshardManager:
 
     def schedule(self, ops: Sequence[ReshardOp], at_ns: float) -> None:
         """Schedule a validated op sequence to execute at ``at_ns``
-        (plans landing while another runs queue behind its mutex)."""
+        (plans landing while another runs queue behind its mutex).
+
+        Membership *intent* is validated here, against the membership
+        every already-scheduled plan will have produced: adding a
+        member (or a slot another plan already claims), removing a
+        spare (or a shard already scheduled to leave), and draining
+        below the replication factor are all rejected up front —
+        never deep inside the simulation at execution time."""
         ops = list(ops)
+        kv = self.kv
+        intent = list(kv.members)
+        for s in self._claimed:
+            intent[s] = True
+        for s in self._leaving:
+            intent[s] = False
         for op in ops:
-            op.validate(self.kv)
-        sim = self.kv.cluster.sim
+            op.validate(kv)
+            if op.kind == "add":
+                if intent[op.shard]:
+                    raise ConfigError(
+                        f"shard {op.shard} is already a member (or "
+                        "claimed by a scheduled scale-out)"
+                    )
+                intent[op.shard] = True
+            else:
+                if not intent[op.shard]:
+                    raise ConfigError(
+                        f"shard {op.shard} is not a member (or already "
+                        "scheduled to leave)"
+                    )
+                survivors = sum(intent) - 1
+                if survivors < kv.cfg.replication:
+                    raise ConfigError(
+                        f"removing shard {op.shard} leaves {survivors} "
+                        "members, fewer than replication="
+                        f"{kv.cfg.replication}"
+                    )
+                intent[op.shard] = False
+        for op in ops:
+            claims = self._claimed if op.kind == "add" else self._leaving
+            claims.add(op.shard)
+        sim = kv.cluster.sim
         sim.call_at(at_ns, lambda: sim.process(self._execute(ops)))
 
     # ------------------------------------------------------------------
@@ -275,10 +321,18 @@ class ReshardManager:
         t0 = sim.now
         try:
             for op in ops:
-                if op.kind == "add":
-                    yield from self._add(op.shard)
-                else:
-                    yield from self._remove(op.shard)
+                try:
+                    if op.kind == "add":
+                        yield from self._add(op.shard)
+                    else:
+                        yield from self._remove(op.shard)
+                except ConfigError:
+                    # Execution-time surprises (a fault window changed
+                    # membership under an intent-validated plan) abort
+                    # the op and release its claim — never the run.
+                    self._claimed.discard(op.shard)
+                    self._leaving.discard(op.shard)
+                    self.events.append((sim.now, "plan_error", op.shard))
         finally:
             self._busy = False
             self.migrating -= 1
@@ -310,6 +364,7 @@ class ReshardManager:
                 f"removing shard {shard} leaves {survivors} members, "
                 f"fewer than replication={kv.cfg.replication}"
             )
+        self._leaving.discard(shard)
         self.events.append((sim.now, "draining", shard))
         # Ring shrinks first; the departing shard keeps serving its
         # copies (placement still routes to it) until keys migrate.
@@ -430,7 +485,31 @@ class ReshardManager:
                 continue
 
             lost = False
-            for dest in [s for s in new_place if idx not in kv.stores[s]]:
+            for dest in new_place:
+                if dest in kv._placement[idx] and idx in kv.stores[dest]:
+                    # A current placement member is replicated-to, so
+                    # its copy is already the committed image.  Anyone
+                    # else — including a shard that hosted this key on
+                    # an earlier tour (scale-out/in round trip, hot-key
+                    # re-promotion) and kept a stale at-rest image —
+                    # must be (re)copied, never trusted.
+                    continue
+                # A straggler replica update from before ``dest`` left
+                # this key's placement may still be writing its copy;
+                # let it finish (it is live and bounded) rather than
+                # tear its block writes with the copy's.
+                while (
+                    idx in kv.stores[dest]
+                    and kv.serving[dest]
+                    and is_locked(kv.stores[dest].current_version(idx))
+                ):
+                    self.stats.lock_waits += 1
+                    yield sim.timeout(LOCK_SPIN_NS)
+                    if not self._still_mine(src, idx, token):
+                        lost = True
+                        break
+                if lost:
+                    break
                 yield from self._copy_object(idx, dest, version)
                 if not self._still_mine(src, idx, token):
                     lost = True
@@ -465,9 +544,14 @@ class ReshardManager:
     def _copy_object(self, idx: int, dest: int, version: int):
         """Install object ``idx``'s committed image ``version`` on
         ``dest`` and charge the copy through the destination's timed
-        memory hierarchy block by block.  The destination is not yet
-        routed to, so intermediate states are unobservable — the time
-        and the coherence traffic are what matter."""
+        memory hierarchy block by block.  The destination is not
+        routed to (readers cannot observe the intermediate states),
+        but a straggler replica update from an earlier placement tour
+        could still race the copy — so the destination's version word
+        stays *locked* (odd) until the last block has landed, making
+        any racing handler spin instead of interleaving its stale
+        blocks with the copy's; the committed header is the copy's
+        final write, exactly like a local writer's."""
         kv = self.kv
         sim = kv.cluster.sim
         payload = stamped_payload(version, kv.cfg.payload_len)
@@ -479,6 +563,10 @@ class ReshardManager:
             )
         else:
             dstore.create(idx, payload, version=version)
+        vaddr = dstore.version_addr(idx)
+        dstore.phys.write(
+            vaddr, lock_version(version).to_bytes(8, "little")
+        )
         handle = dstore.handle(idx)
         image = dstore.phys.read(handle.base_addr, handle.wire_size)
         node = kv.shards[dest]
@@ -489,6 +577,10 @@ class ReshardManager:
                 core, handle.base_addr + off, image[off : off + CACHE_BLOCK]
             )
             yield sim.timeout(max(latency, floor))
+        latency = node.chip.write_block(
+            core, vaddr, version.to_bytes(8, "little")
+        )
+        yield sim.timeout(max(latency, floor))
         self.stats.replica_copies += 1
 
     # ------------------------------------------------------------------
@@ -513,10 +605,14 @@ class ReshardManager:
     def stop_rebalancer(self) -> None:
         self._stop_rebalance = True
 
+    def _routed_snapshot(self) -> List[int]:
+        return [s.reads_routed for s in self.kv.merged_shard_stats()]
+
     def _rebalance_loop(self, cfg: RebalanceConfig, until_ns: float):
         kv = self.kv
         sim = kv.cluster.sim
         last = list(kv.key_reads)
+        last_routed = self._routed_snapshot()
         while not self._stop_rebalance and sim.now < until_ns:
             yield sim.timeout(min(cfg.interval_ns, until_ns - sim.now))
             if self._stop_rebalance:
@@ -524,6 +620,9 @@ class ReshardManager:
             current = list(kv.key_reads)
             delta = [c - p for c, p in zip(current, last)]
             last = current
+            routed = self._routed_snapshot()
+            routed_delta = [c - p for c, p in zip(routed, last_routed)]
+            last_routed = routed
             if self._busy:
                 # A topology change owns placement right now; skip the
                 # interval rather than interleave with its yields.
@@ -541,9 +640,14 @@ class ReshardManager:
             for idx in ranked:
                 if delta[idx] / total < cfg.hot_share:
                     break
-                yield from self._promote(idx, cfg)
+                yield from self._promote(idx, cfg, routed_delta)
 
-    def _promote(self, idx: int, cfg: RebalanceConfig):
+    def _promote(
+        self,
+        idx: int,
+        cfg: RebalanceConfig,
+        routed: Optional[Sequence[int]] = None,
+    ):
         """Add one extra read replica for hot key ``idx`` (lock, timed
         copy, placement append, epoch bump — the migration copy path,
         so the new copy is committed-fresh and replicated-to)."""
@@ -554,10 +658,13 @@ class ReshardManager:
         if len(extras) >= cfg.max_extra:
             return
         placed = set(kv._placement[idx])
-        # Coldest serving member first: routed-read counters are the
-        # load signal (deterministic), so a promotion lands where it
-        # relieves pressure instead of stacking onto a busy shard.
-        routed = [s.reads_routed for s in kv.merged_shard_stats()]
+        # Coldest serving member over the *sampling interval* first:
+        # the interval's routed-read delta is the load signal, so a
+        # promotion lands where pressure is low right now — lifetime
+        # totals would let early-run history keep steering promotions
+        # onto a currently-hot shard late in a long run.
+        if routed is None:
+            routed = [0] * kv.provisioned
         candidates = sorted(
             (
                 s
@@ -583,16 +690,39 @@ class ReshardManager:
         self.events.append((kv.cluster.sim.now, "promote", idx))
 
     def _demote(self, idx: int) -> None:
-        """Drop key ``idx``'s promoted extras (instant: removing a read
-        replica needs no copy, only a view change)."""
+        """Drop key ``idx``'s promoted extras.
+
+        Routing stops immediately (the lookup rotation keys off
+        ``hot_replicas``), but — mirroring the migration drain — the
+        ex-extras stay on the placement tail for ``drain_ns``: still
+        replicated-to and still readable, so an in-flight read that
+        computed its route pre-demotion can never consume a copy a
+        subsequent write has left stale.  Only after the grace does
+        the placement collapse."""
         kv = self.kv
         extras = kv.hot_replicas.pop(idx, [])
         if not extras:
             return
-        gone = set(extras)
-        kv._placement[idx] = tuple(
-            s for s in kv._placement[idx] if s not in gone
-        )
         kv.epoch += 1
         self.stats.hot_demotions += 1
         self.events.append((kv.cluster.sim.now, "demote", idx))
+        kv.cluster.sim.process(self._prune_demoted(idx, set(extras)))
+
+    def _prune_demoted(self, idx: int, gone: set):
+        """After the demotion grace, drop ``gone`` from key ``idx``'s
+        placement — unless a shard was legitimately re-placed in the
+        meantime (fresh-ring ownership after a topology change, or a
+        re-promotion) in which case it stays."""
+        kv = self.kv
+        sim = kv.cluster.sim
+        yield sim.timeout(self.drain_ns)
+        fresh = set(
+            kv.ring.replicas(kv.key_name(idx), kv.cfg.replication)
+        )
+        drop = gone - fresh - set(kv.hot_replicas.get(idx, ()))
+        pruned = tuple(
+            s for s in kv._placement[idx] if s not in drop
+        )
+        if pruned != kv._placement[idx]:
+            kv._placement[idx] = pruned
+            kv.epoch += 1

@@ -308,9 +308,65 @@ class TestReshardManager:
     def test_scale_in_below_replication_rejected(self):
         kv = ShardedKV(elastic_cfg(n_shards=3, max_shards=3))
         manager = ReshardManager(kv)
-        manager.scale_in([1, 2], at_ns=10.0)  # would leave 1 < repl 2
         with pytest.raises(ConfigError):
-            kv.cluster.sim.run()
+            manager.scale_in([1, 2], at_ns=10.0)  # would leave 1 < repl 2
+        # Rejected at schedule time: nothing queued, the run is clean.
+        kv.cluster.sim.run()
+        assert manager.stats.shards_removed == 0
+        assert kv.member_shards() == [0, 1, 2]
+
+    def test_membership_conflicts_rejected_at_schedule_time(self):
+        """Regression: membership-intent conflicts (adding a member,
+        removing a spare, two plans draining the same shard) surface
+        as schedule-time ConfigErrors, not mid-simulation crashes."""
+        kv = ShardedKV(elastic_cfg(n_shards=4, max_shards=6, n_objects=12))
+        manager = ReshardManager(kv)
+        with pytest.raises(ConfigError):
+            manager.schedule([ReshardOp("add", 0)], at_ns=10.0)  # member
+        with pytest.raises(ConfigError):
+            manager.scale_in([5], at_ns=10.0)  # spare, not a member
+        manager.scale_in([3], at_ns=1_000.0)
+        with pytest.raises(ConfigError):
+            manager.scale_in([3], at_ns=2_000.0)  # already leaving
+        chosen = manager.scale_out(1, at_ns=1_000.0)
+        with pytest.raises(ConfigError):
+            # A slot claimed by a scheduled scale-out cannot join twice.
+            manager.schedule([ReshardOp("add", chosen[0])], at_ns=2_000.0)
+        # The valid plans still execute cleanly.
+        kv.cluster.sim.run()
+        assert kv.member_shards() == [0, 1, 2, chosen[0]]
+        assert not any(e[1] == "plan_error" for e in manager.events)
+
+    def test_scale_in_recopies_stale_prior_owner_images(self):
+        """Regression: a scale-out moves keys off their owners (whose
+        at-rest images stay behind), writes advance the keys on the
+        new owner, and a scale-in hands them back.  The returning
+        owners must be re-copied, not trusted on their stale images —
+        pinned by version monotonicity: no at-rest copy anywhere may
+        exceed its key's current primary."""
+        cfg = elastic_cfg(n_objects=32, max_shards=5)
+        kv = ShardedKV(cfg)
+        manager = ReshardManager(kv)
+        added = manager.scale_out(1, at_ns=2_000.0)
+        manager.scale_in(added, at_ns=25_000.0)
+        acked = run_mixed_load(kv, t_end=50_000.0)
+        assert acked > 0
+        assert manager.stats.shards_added == 1
+        assert manager.stats.shards_removed == 1
+        assert kv.member_shards() == [0, 1, 2, 3]
+        for idx in range(cfg.n_objects):
+            v_primary = kv.stores[kv._placement[idx][0]].current_version(idx)
+            # Every routed replica converged to the primary's version.
+            for s in kv._placement[idx]:
+                assert kv.stores[s].current_version(idx) == v_primary
+            # No stale (or regressed) image anywhere outruns the key.
+            for s in range(kv.provisioned):
+                if idx in kv.stores[s]:
+                    assert kv.stores[s].current_version(idx) <= v_primary, (
+                        idx,
+                        s,
+                    )
+        audit_at_rest(kv)
 
     def test_reads_keep_completing_mid_migration(self):
         cfg = elastic_cfg()
@@ -489,6 +545,80 @@ class TestHotspotPolicy:
             s.undetected_violations for s in kv.all_reader_stats()
         ) == 0
         audit_at_rest(kv)
+
+    def test_repromotion_refreshes_stale_at_rest_image(self):
+        """Regression: promote -> demote -> write -> re-promote onto
+        the same shard.  The ex-extra still holds an at-rest copy from
+        its first tour; the re-promotion must overwrite it with the
+        current committed image, never serve the stale one."""
+        kv = ShardedKV(elastic_cfg(n_shards=3, max_shards=3, n_objects=4))
+        manager = ReshardManager(kv, drain_ns=500.0)
+        sim = kv.cluster.sim
+        idx = 0
+        key = kv.key_name(idx)
+        done = []
+
+        def driver():
+            cfg = RebalanceConfig()
+            yield from manager._promote(idx, cfg)
+            extra = kv.hot_replicas[idx][0]
+            manager._demote(idx)
+            yield sim.timeout(1_000.0)  # past the drain: extra pruned
+            assert extra not in kv._placement[idx]
+            stale = kv.stores[extra].current_version(idx)
+            for _ in range(3):
+                ack = yield kv.put(0, key, t_end=sim.now + 50_000.0)
+                assert ack is not None
+            yield sim.timeout(2_000.0)  # replication fan-out drains
+            yield from manager._promote(idx, cfg)
+            assert kv.hot_replicas[idx] == [extra]
+            v_primary = kv.stores[kv._placement[idx][0]].current_version(
+                idx
+            )
+            assert v_primary > stale
+            assert kv.stores[extra].current_version(idx) == v_primary
+            done.append(True)
+
+        sim.process(driver())
+        sim.run()
+        assert done
+        audit_at_rest(kv)
+
+    def test_demote_keeps_extra_readable_for_drain_grace(self):
+        """Mirror of the migration drain: a demoted extra stops being
+        routed to immediately but stays on the placement tail — still
+        replicated-to — for ``drain_ns``, so an in-flight read routed
+        pre-demotion can never consume a stale copy."""
+        kv = ShardedKV(elastic_cfg(n_shards=3, max_shards=3, n_objects=4))
+        manager = ReshardManager(kv, drain_ns=2_000.0)
+        sim = kv.cluster.sim
+        idx = 0
+        done = []
+
+        def driver():
+            yield from manager._promote(idx, RebalanceConfig())
+            extra = kv.hot_replicas[idx][0]
+            manager._demote(idx)
+            # Routing stopped at once ...
+            assert kv.hot_replicas == {}
+            # ... but the ex-extra is still placed during the grace,
+            assert extra in kv._placement[idx]
+            # ... and still covered by the replication fan-out:
+            ack = yield kv.put(0, kv.key_name(idx), t_end=sim.now + 10_000.0)
+            assert ack is not None
+            yield sim.timeout(1_000.0)  # replication drains (< grace)
+            v_primary = kv.stores[kv._placement[idx][0]].current_version(
+                idx
+            )
+            assert kv.stores[extra].current_version(idx) == v_primary
+            yield sim.timeout(2_000.0)  # past the grace: now pruned
+            assert extra not in kv._placement[idx]
+            done.append(True)
+
+        sim.process(driver())
+        sim.run()
+        assert done
+        assert manager.stats.hot_demotions == 1
 
 
 # ----------------------------------------------------------------------
