@@ -18,6 +18,7 @@ setup(
         "console_scripts": [
             "repro-harness=repro.harness.cli:main",
             "repro-perf=repro.perf.cli:main",
+            "repro-campaign=repro.experiments.campaign_cli:main",
             # Historical name, kept for compatibility.
             "sabres-experiments=repro.harness.cli:main",
         ]

@@ -1,4 +1,4 @@
-"""Declarative experiment framework: specs, parallel sweeps, registry.
+"""Declarative experiment framework: specs, sweeps, campaigns.
 
 Quickstart::
 
@@ -6,10 +6,50 @@ Quickstart::
 
     result = run_sweep(registry.get("fig7a"), scale=0.25, jobs=4)
     print(result.table())
+
+Campaigns (resumable, multi-host, self-reporting)::
+
+    from repro.experiments import CampaignSpec, CampaignStage, CampaignRunner
+    from repro.experiments.context import CampaignContext
+
+    campaign = CampaignSpec(
+        name="nightly",
+        scale=0.2,
+        stages=[CampaignStage("fig7a"), CampaignStage("ycsb_latency")],
+    )
+    CampaignRunner(campaign, context=CampaignContext("runs/nightly")).run()
 """
 
+from repro.experiments.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    CampaignStage,
+    load_campaign,
+)
+from repro.experiments.context import (
+    CacheContext,
+    CampaignContext,
+    MemoryContext,
+    PointCache,
+    RunContext,
+    point_key,
+)
+from repro.experiments.executors import (
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    SubprocessExecutor,
+    execute_point,
+    make_executor,
+)
+from repro.experiments.qa import QaCheck, QaReport
 from repro.experiments.registry import get, load_builtin, names, register
-from repro.experiments.runner import PointCache, SweepResult, SweepRunner, run_sweep
+from repro.experiments.runner import (
+    SweepResult,
+    SweepRunner,
+    merge_rows,
+    run_sweep,
+)
 from repro.experiments.spec import (
     ExperimentSpec,
     Point,
@@ -18,16 +58,34 @@ from repro.experiments.spec import (
 )
 
 __all__ = [
+    "CacheContext",
+    "CampaignContext",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStage",
+    "Executor",
     "ExperimentSpec",
+    "MemoryContext",
     "Point",
-    "PointContext",
     "PointCache",
+    "PointContext",
+    "PoolExecutor",
+    "QaCheck",
+    "QaReport",
+    "RunContext",
+    "SerialExecutor",
+    "SubprocessExecutor",
     "SweepResult",
     "SweepRunner",
     "Variant",
+    "execute_point",
     "get",
     "load_builtin",
+    "load_campaign",
+    "make_executor",
+    "merge_rows",
     "names",
+    "point_key",
     "register",
     "run_sweep",
 ]

@@ -1,0 +1,330 @@
+"""Declarative campaigns: many sweeps as one resumable request.
+
+A :class:`CampaignSpec` is the ``executeppr``-style processing
+request: it names a sequence of *stages* (each a registered
+:class:`ExperimentSpec` — or a ``module:attr`` reference — plus axis
+subsets, parameter overrides, a seed root, a scale, and QA checks).
+:class:`CampaignRunner` executes the request through any
+:class:`~repro.experiments.executors.Executor` against any
+:class:`~repro.experiments.context.RunContext`:
+
+* with a :class:`~repro.experiments.context.CampaignContext`, every
+  completed point is journaled immediately, so a killed campaign
+  resumes from exactly the unfinished points — same rows, byte for
+  byte, as an uninterrupted run;
+* per-stage rows/meta/QA artifacts land under ``<dir>/artifacts/``
+  and feed the HTML renderer (``repro-campaign report``).
+
+Requests load from JSON files or from Python files exposing a
+``CAMPAIGN`` attribute (for campaigns that need closures or computed
+axes); both normalize through :meth:`CampaignSpec.to_dict`, which is
+what a campaign directory persists.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.experiments import qa as qa_mod
+from repro.experiments.context import CampaignContext, RunContext, point_key
+from repro.experiments.executors import (
+    Executor,
+    SubprocessExecutor,
+    resolve_spec,
+)
+from repro.experiments.qa import QaCheck, QaReport
+from repro.experiments.runner import SweepResult, SweepRunner
+
+
+@dataclass
+class CampaignStage:
+    """One stage of a campaign: a spec reference plus its knobs."""
+
+    experiment: str
+    name: str = ""
+    axes: Optional[Mapping[str, Sequence[Any]]] = None
+    overrides: Optional[Mapping[str, Any]] = None
+    base_seed: Optional[int] = None
+    scale: Optional[float] = None
+    qa: Sequence[QaCheck] = ()
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            raise ConfigError("campaign stage needs an experiment reference")
+        if not self.name:
+            # module:attr references make poor filenames; use the attr.
+            self.name = self.experiment.rsplit(":", 1)[-1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"experiment": self.experiment, "name": self.name}
+        if self.axes is not None:
+            out["axes"] = {k: list(v) for k, v in self.axes.items()}
+        if self.overrides is not None:
+            out["overrides"] = dict(self.overrides)
+        if self.base_seed is not None:
+            out["base_seed"] = self.base_seed
+        if self.scale is not None:
+            out["scale"] = self.scale
+        if self.qa:
+            out["qa"] = [check.to_dict() for check in self.qa]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignStage":
+        return cls(
+            experiment=data["experiment"],
+            name=data.get("name", ""),
+            axes=data.get("axes"),
+            overrides=data.get("overrides"),
+            base_seed=data.get("base_seed"),
+            scale=data.get("scale"),
+            qa=tuple(QaCheck.from_dict(c) for c in data.get("qa", ())),
+        )
+
+
+@dataclass
+class CampaignSpec:
+    """A whole campaign request: named stages plus shared defaults."""
+
+    name: str
+    stages: Sequence[CampaignStage]
+    scale: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("campaign needs a name")
+        if not self.stages:
+            raise ConfigError(f"campaign {self.name!r} needs >= 1 stage")
+        seen = set()
+        for stage in self.stages:
+            if stage.name in seen:
+                raise ConfigError(
+                    f"campaign {self.name!r} has duplicate stage "
+                    f"name {stage.name!r}"
+                )
+            seen.add(stage.name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.name,
+            "description": self.description,
+            "scale": self.scale,
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        return cls(
+            name=data.get("campaign") or data.get("name") or "",
+            description=data.get("description", ""),
+            scale=data.get("scale", 1.0),
+            stages=tuple(
+                CampaignStage.from_dict(s) for s in data.get("stages", ())
+            ),
+        )
+
+
+def load_campaign(path: str) -> CampaignSpec:
+    """Load a campaign request from a ``.json`` or ``.py`` file.
+
+    Python requests expose a module-level ``CAMPAIGN`` — either a
+    :class:`CampaignSpec` or a request dict — for campaigns whose
+    axes/overrides want to be computed."""
+    if path.endswith(".py"):
+        spec = importlib.util.spec_from_file_location("_campaign_request", path)
+        if spec is None or spec.loader is None:
+            raise ConfigError(f"cannot import campaign file {path!r}")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        request = getattr(module, "CAMPAIGN", None)
+        if isinstance(request, CampaignSpec):
+            return request
+        if isinstance(request, Mapping):
+            return CampaignSpec.from_dict(request)
+        raise ConfigError(
+            f"{path!r} must define CAMPAIGN as a CampaignSpec or dict"
+        )
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ConfigError(f"cannot read campaign request {path!r}: {exc}")
+    except ValueError as exc:
+        raise ConfigError(f"campaign request {path!r} is not valid JSON: {exc}")
+    return CampaignSpec.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StageResult:
+    """One executed stage: the sweep result plus QA and resume stats."""
+
+    stage: str
+    result: SweepResult
+    qa: QaReport
+    journal_hits: int
+
+    @property
+    def verdict(self) -> str:
+        return self.qa.verdict
+
+
+@dataclass
+class CampaignResult:
+    """All stages of one campaign attempt."""
+
+    campaign: str
+    stages: List[StageResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def verdict(self) -> str:
+        return qa_mod.worst_verdict([s.qa for s in self.stages])
+
+    @property
+    def journal_hits(self) -> int:
+        return sum(s.journal_hits for s in self.stages)
+
+
+class CampaignRunner:
+    """Execute a :class:`CampaignSpec` stage by stage.
+
+    ``executor`` defaults to serial; ``context`` defaults to nothing
+    persistent (pass a :class:`CampaignContext` for journaling,
+    artifacts, and resumability — the runner persists the request and
+    writes per-stage artifacts as stages finish)."""
+
+    def __init__(
+        self,
+        campaign: CampaignSpec,
+        executor: Optional[Executor] = None,
+        context: Optional[RunContext] = None,
+    ):
+        self.campaign = campaign
+        self.executor = executor
+        self.context = context
+
+    # ------------------------------------------------------------------
+    def _stage_executor(self, stage: CampaignStage) -> Optional[Executor]:
+        """Subprocess workers resolve specs by reference, and the
+        reference is per-stage — hand each stage its own copy."""
+        executor = self.executor
+        if isinstance(executor, SubprocessExecutor) and executor.ref is None:
+            return SubprocessExecutor(
+                workers=executor.workers,
+                command=executor.command,
+                ref=stage.experiment,
+                env=executor.env,
+            )
+        return executor
+
+    def run(self) -> CampaignResult:
+        start = time.time()
+        out = CampaignResult(campaign=self.campaign.name)
+        for stage_result in self.iter_run():
+            out.stages.append(stage_result)
+        out.elapsed_s = time.time() - start
+        return out
+
+    def iter_run(self):
+        """Execute stage by stage, yielding each :class:`StageResult`
+        as it completes (artifacts are written before the yield, so a
+        consumer crash never loses a finished stage)."""
+        context = self.context
+        if isinstance(context, CampaignContext):
+            context.save_request(self.campaign.to_dict())
+        for stage in self.campaign.stages:
+            spec = resolve_spec(stage.experiment)
+            scale = self.campaign.scale if stage.scale is None else stage.scale
+            hits_before = context.hits if context is not None else 0
+            runner = SweepRunner(
+                spec,
+                scale=scale,
+                axes=stage.axes,
+                overrides=stage.overrides,
+                base_seed=stage.base_seed,
+                executor=self._stage_executor(stage),
+                context=context,
+            )
+            result = runner.run()
+            hits = (context.hits - hits_before) if context is not None else 0
+            checks = [*spec.qa_checks, *stage.qa]
+            report = qa_mod.evaluate(stage.name, checks, result.rows)
+            if isinstance(context, CampaignContext):
+                executor = runner.executor
+                context.write_stage_artifacts(
+                    stage.name,
+                    rows_payload=result.rows_json_dict(),
+                    meta_payload={
+                        "stage": stage.name,
+                        "experiment": stage.experiment,
+                        "scale": scale,
+                        "executor": executor.describe(),
+                        "points_total": result.points_total,
+                        "journal_hits": hits,
+                        "elapsed_s": round(result.elapsed_s, 3),
+                    },
+                    qa_payload=report.to_dict(),
+                )
+            yield StageResult(
+                stage=stage.name,
+                result=result,
+                qa=report,
+                journal_hits=hits,
+            )
+        if isinstance(context, CampaignContext):
+            context.close()
+
+
+# ----------------------------------------------------------------------
+# status
+# ----------------------------------------------------------------------
+
+
+def campaign_status(
+    campaign: CampaignSpec, context: CampaignContext
+) -> List[Tuple[str, int, int]]:
+    """Per-stage resume picture: ``(stage, points done, points total)``.
+
+    Pure bookkeeping — expansion is side-effect free, so asking for
+    status never executes anything."""
+    done_keys = set(context.completed_keys())
+    status: List[Tuple[str, int, int]] = []
+    for stage in campaign.stages:
+        spec = resolve_spec(stage.experiment)
+        scale = campaign.scale if stage.scale is None else stage.scale
+        points = spec.expand(
+            axes=stage.axes, overrides=stage.overrides, base_seed=stage.base_seed
+        )
+        done = sum(
+            1
+            for p in points
+            if point_key(spec.name, p, scale) in done_keys
+        )
+        status.append((stage.name, done, len(points)))
+    return status
+
+
+def load_campaign_dir(root: str) -> Tuple[CampaignSpec, CampaignContext]:
+    """Open an existing campaign directory (for resume/status/report)."""
+    if not os.path.isdir(root):
+        raise ConfigError(f"no campaign directory at {root!r}")
+    context = CampaignContext(root)
+    request = context.load_request()
+    if request is None:
+        raise ConfigError(
+            f"{root!r} has no readable {os.path.basename(context.request_path)}; "
+            "was the campaign ever started?"
+        )
+    return CampaignSpec.from_dict(request), context

@@ -1,0 +1,308 @@
+"""Run contexts: where completed point fragments live between runs.
+
+A *run context* answers two questions for the sweep/campaign machinery:
+"has this point already been computed?" and "remember this fragment".
+Three implementations cover the spectrum:
+
+* :class:`MemoryContext` — nothing persists; plain one-shot runs.
+* :class:`CacheContext` — the PR-1 :class:`PointCache` behind the
+  context interface: one JSON file per point, shared across runs and
+  campaigns that happen to hit the same points.
+* :class:`CampaignContext` — a campaign directory with an append-only
+  JSONL *journal* of completed point keys + fragments, the campaign
+  request, per-stage artifacts, and the HTML report.  A killed
+  campaign resumes from exactly the unfinished points: every fragment
+  is journaled (and flushed) the moment it completes, and corrupt or
+  truncated journal lines — the signature of a SIGKILL mid-write —
+  are skipped, so those points simply recompute.
+
+Keys come from :func:`point_key`: a content hash of the spec name,
+variant, scale, seed, and full parameter dict, so a journal or cache
+can never serve a fragment to a point it wasn't computed for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterator, Optional, TextIO, Tuple
+
+from repro.experiments.spec import Point
+
+#: Campaign directory layout (all relative to the campaign root).
+JOURNAL_NAME = "journal.jsonl"
+REQUEST_NAME = "campaign.json"
+ARTIFACT_DIR = "artifacts"
+REPORT_DIR = "report"
+
+
+def point_key(spec_name: str, point: Point, scale: float) -> str:
+    """Content hash identifying one executable point at one scale."""
+    canon = repr(
+        (
+            spec_name,
+            point.variant.name,
+            scale,
+            point.seed,
+            sorted((k, repr(v)) for k, v in point.params.items()),
+        )
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def _atomic_write_text(path: str, text: str) -> None:
+    """Write-then-rename so readers never observe a truncated file."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
+def atomic_write_json(path: str, payload: Any) -> None:
+    _atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# contexts
+# ----------------------------------------------------------------------
+
+
+class RunContext:
+    """Interface: lookup and record completed point fragments.
+
+    ``hits``/``misses`` count lookups, so callers can report exactly
+    how much work a resume or cached re-run skipped."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        fragment = self._load(key)
+        if fragment is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return fragment
+
+    def record(self, key: str, fragment: Dict[str, Any], stage: str = "") -> None:
+        raise NotImplementedError
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+
+class MemoryContext(RunContext):
+    """Session-local context: completed points shared within a process."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._fragments: Dict[str, Dict[str, Any]] = {}
+
+    def record(self, key: str, fragment: Dict[str, Any], stage: str = "") -> None:
+        self._fragments[key] = dict(fragment)
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        fragment = self._fragments.get(key)
+        return dict(fragment) if fragment is not None else None
+
+
+class PointCache:
+    """Completed-point cache: one JSON file per point, keyed by a hash
+    of the spec name, scale, seed, variant, and full parameter dict.
+
+    Values must be JSON-serializable (all built-in specs emit plain
+    numbers/strings); anything else is silently not cached."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(spec_name: str, point: Point, scale: float) -> str:
+        return point_key(spec_name, point, scale)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(key)) as fh:
+                fragment = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(fragment, dict):
+            # Garbage that happens to parse (e.g. a bare number from a
+            # corrupted entry) must recompute, never flow into rows.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return fragment
+
+    def store(self, key: str, fragment: Dict[str, Any]) -> None:
+        try:
+            blob = json.dumps(fragment)
+        except (TypeError, ValueError):
+            return  # not serializable: skip caching, never fail the run
+        tmp = self._path(key) + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(blob)
+        os.replace(tmp, self._path(key))
+
+
+class CacheContext(RunContext):
+    """The point cache behind the context interface (no journal)."""
+
+    def __init__(self, cache: PointCache):
+        super().__init__()
+        self.cache = cache
+
+    def record(self, key: str, fragment: Dict[str, Any], stage: str = "") -> None:
+        self.cache.store(key, fragment)
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.cache.load(key)
+
+
+class CampaignContext(RunContext):
+    """A campaign directory: request + journal + artifacts + report.
+
+    The journal is append-only JSONL — one ``{"stage", "key",
+    "fragment"}`` object per completed point, flushed immediately so a
+    SIGKILL loses at most the line being written (which the loader
+    then skips).  ``get`` serves fragments journaled by *any* earlier
+    attempt of the campaign; keys are content hashes, so replays are
+    always safe."""
+
+    def __init__(self, root: str):
+        super().__init__()
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        os.makedirs(self.artifact_dir, exist_ok=True)
+        self._fragments: Dict[str, Dict[str, Any]] = {}
+        self.journal_lines_skipped = 0
+        self._replay_journal()
+        self._journal: Optional[TextIO] = None
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.root, JOURNAL_NAME)
+
+    @property
+    def request_path(self) -> str:
+        return os.path.join(self.root, REQUEST_NAME)
+
+    @property
+    def artifact_dir(self) -> str:
+        return os.path.join(self.root, ARTIFACT_DIR)
+
+    @property
+    def report_dir(self) -> str:
+        return os.path.join(self.root, REPORT_DIR)
+
+    # -- journal -------------------------------------------------------
+    def _replay_journal(self) -> None:
+        try:
+            fh = open(self.journal_path)
+        except OSError:
+            return
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    fragment = entry["fragment"]
+                    key = entry["key"]
+                except (ValueError, TypeError, KeyError):
+                    # Truncated tail from a killed writer, or garbage:
+                    # drop the line; the point recomputes.
+                    self.journal_lines_skipped += 1
+                    continue
+                if not isinstance(fragment, dict) or not isinstance(key, str):
+                    self.journal_lines_skipped += 1
+                    continue
+                self._fragments[key] = fragment
+
+    def record(self, key: str, fragment: Dict[str, Any], stage: str = "") -> None:
+        self._fragments[key] = dict(fragment)
+        try:
+            blob = json.dumps({"stage": stage, "key": key, "fragment": fragment})
+        except (TypeError, ValueError):
+            return  # not JSON-serializable: recompute on resume
+        if self._journal is None:
+            self._journal = open(self.journal_path, "a")
+        self._journal.write(blob + "\n")
+        self._journal.flush()
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        fragment = self._fragments.get(key)
+        return dict(fragment) if fragment is not None else None
+
+    def completed_keys(self) -> Tuple[str, ...]:
+        return tuple(self._fragments)
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    # -- request / artifacts ------------------------------------------
+    def save_request(self, request: Dict[str, Any]) -> None:
+        atomic_write_json(self.request_path, request)
+
+    def load_request(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.request_path) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def rows_artifact_path(self, stage: str) -> str:
+        return os.path.join(self.artifact_dir, f"{stage}.rows.json")
+
+    def meta_artifact_path(self, stage: str) -> str:
+        return os.path.join(self.artifact_dir, f"{stage}.meta.json")
+
+    def qa_artifact_path(self, stage: str) -> str:
+        return os.path.join(self.artifact_dir, f"{stage}.qa.json")
+
+    def write_stage_artifacts(
+        self,
+        stage: str,
+        rows_payload: Dict[str, Any],
+        meta_payload: Dict[str, Any],
+        qa_payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Persist one finished stage.
+
+        The *rows* artifact holds only deterministic content (spec,
+        headers, rows) so byte-comparison across executors and across
+        kill/resume boundaries is meaningful; volatile detail (wall
+        time, executor, journal hits) lives in the *meta* artifact."""
+        atomic_write_json(self.rows_artifact_path(stage), rows_payload)
+        atomic_write_json(self.meta_artifact_path(stage), meta_payload)
+        if qa_payload is not None:
+            atomic_write_json(self.qa_artifact_path(stage), qa_payload)
+
+    def iter_stage_artifacts(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield ``(stage, rows payload)`` for every completed stage."""
+        try:
+            names = sorted(os.listdir(self.artifact_dir))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".rows.json"):
+                continue
+            stage = name[: -len(".rows.json")]
+            try:
+                with open(os.path.join(self.artifact_dir, name)) as fh:
+                    yield stage, json.load(fh)
+            except (OSError, ValueError):
+                continue

@@ -1,0 +1,186 @@
+"""Per-stage QA scoring for sweeps and campaigns.
+
+A :class:`QaCheck` is a declarative assertion over one result column
+("aggregate column C across the stage's rows with ``agg``; the value
+must sit inside ``[min, max]``").  Specs attach baseline checks via
+``ExperimentSpec.qa_checks``; campaign stages may add or tighten
+checks per request.  Evaluation never raises on missing or non-numeric
+data — a check that cannot be evaluated *fails* with a reason, because
+silently green QA on absent columns is how reports rot.
+
+The verdict model is deliberately small: each check passes or fails,
+a stage's verdict is ``pass``/``fail`` (or ``none`` when it has no
+checks), and the campaign verdict is the worst stage verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.common.errors import ConfigError
+
+#: Supported row aggregations.
+_AGGS = ("min", "max", "mean", "sum", "first", "last")
+
+
+@dataclass(frozen=True)
+class QaCheck:
+    """One column assertion: ``lo <= agg(column over rows) <= hi``."""
+
+    column: str
+    agg: str = "max"
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.agg not in _AGGS:
+            raise ConfigError(
+                f"QA agg must be one of {_AGGS}, got {self.agg!r}"
+            )
+        if self.lo is None and self.hi is None:
+            raise ConfigError(
+                f"QA check on {self.column!r} needs a lo and/or hi bound"
+            )
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        bounds = []
+        if self.lo is not None:
+            bounds.append(f">= {self.lo:g}")
+        if self.hi is not None:
+            bounds.append(f"<= {self.hi:g}")
+        return f"{self.agg}({self.column}) {' and '.join(bounds)}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"column": self.column, "agg": self.agg}
+        if self.lo is not None:
+            out["lo"] = self.lo
+        if self.hi is not None:
+            out["hi"] = self.hi
+        if self.label:
+            out["label"] = self.label
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QaCheck":
+        return cls(
+            column=data["column"],
+            agg=data.get("agg", "max"),
+            lo=data.get("lo"),
+            hi=data.get("hi"),
+            label=data.get("label", ""),
+        )
+
+
+def _aggregate(values: List[float], agg: str) -> float:
+    if agg == "min":
+        return min(values)
+    if agg == "max":
+        return max(values)
+    if agg == "mean":
+        return sum(values) / len(values)
+    if agg == "sum":
+        return sum(values)
+    if agg == "first":
+        return values[0]
+    return values[-1]  # "last"
+
+
+@dataclass
+class QaOutcome:
+    """One evaluated check."""
+
+    check: QaCheck
+    passed: bool
+    observed: Optional[float]
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "check": self.check.to_dict(),
+            "describe": self.check.describe(),
+            "passed": self.passed,
+            "observed": self.observed,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class QaReport:
+    """All checks for one stage, plus the stage verdict."""
+
+    stage: str
+    outcomes: List[QaOutcome]
+
+    @property
+    def verdict(self) -> str:
+        if not self.outcomes:
+            return "none"
+        return "pass" if all(o.passed for o in self.outcomes) else "fail"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "verdict": self.verdict,
+            "checks": [o.to_dict() for o in self.outcomes],
+        }
+
+
+def evaluate(
+    stage: str,
+    checks: Sequence[QaCheck],
+    rows: Sequence[Mapping[str, Any]],
+) -> QaReport:
+    """Score one stage's merged rows against its checks."""
+    outcomes: List[QaOutcome] = []
+    for check in checks:
+        values: List[float] = []
+        bad = None
+        for row in rows:
+            value = row.get(check.column)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                bad = value
+                break
+            values.append(float(value))
+        if bad is not None:
+            outcomes.append(
+                QaOutcome(
+                    check,
+                    False,
+                    None,
+                    f"non-numeric value {bad!r} in column {check.column!r}",
+                )
+            )
+            continue
+        if not values:
+            outcomes.append(
+                QaOutcome(
+                    check,
+                    False,
+                    None,
+                    f"column {check.column!r} absent from every row",
+                )
+            )
+            continue
+        observed = _aggregate(values, check.agg)
+        ok = (check.lo is None or observed >= check.lo) and (
+            check.hi is None or observed <= check.hi
+        )
+        reason = "" if ok else f"observed {observed:g} outside bounds"
+        outcomes.append(QaOutcome(check, ok, observed, reason))
+    return QaReport(stage=stage, outcomes=outcomes)
+
+
+def worst_verdict(reports: Sequence[QaReport]) -> str:
+    """Campaign-level verdict: fail > pass > none."""
+    verdicts = {report.verdict for report in reports}
+    if "fail" in verdicts:
+        return "fail"
+    if "pass" in verdicts:
+        return "pass"
+    return "none"

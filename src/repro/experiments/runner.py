@@ -1,139 +1,51 @@
-"""Parallel sweep execution for :class:`ExperimentSpec`.
+"""Sweep execution for :class:`ExperimentSpec`.
 
-The runner expands a spec into points, executes them — in-process or
-across a ``multiprocessing`` pool (``jobs > 1``) — merges the column
-fragments back into rows in deterministic grid order, and can cache
-completed points on disk keyed by a content hash of the point, so
-re-runs only pay for what changed.
+The runner is now a thin orchestration layer over three pluggable
+pieces (PR 9 split the old monolith):
+
+* point **expansion** stays pure in :mod:`repro.experiments.spec`;
+* an :class:`~repro.experiments.executors.Executor` turns pending
+  points into fragments (in-process, pool, or multi-host workers);
+* a :class:`~repro.experiments.context.RunContext` remembers completed
+  fragments (point cache, or a campaign's crash-resumable journal).
 
 Determinism: every point re-seeds the worker's global RNG from a seed
 derived from ``(spec seed, spec name, point index, variant)``, and all
 simulation randomness already flows from the explicit config seeds, so
-an N-job sweep produces byte-identical rows to a serial one.
+every executor produces byte-identical rows to a serial run.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import math
-import multiprocessing
 import os
-import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
-from repro.experiments.spec import ExperimentSpec, Point, PointContext
+from repro.experiments.context import (
+    CacheContext,
+    PointCache,
+    RunContext,
+    point_key,
+)
+from repro.experiments.executors import (
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    SubprocessExecutor,
+    execute_point,
+)
+from repro.experiments.spec import ExperimentSpec, Point
 from repro.harness.report import format_table
 
-# ----------------------------------------------------------------------
-# worker-side execution
-# ----------------------------------------------------------------------
-
-#: Spec handed to pool workers via the initializer (inherited directly
-#: under the ``fork`` start method, so closures in ``point_fn`` work).
-_WORKER_SPEC: Optional[ExperimentSpec] = None
-
-
-def _init_worker(spec: ExperimentSpec) -> None:
-    global _WORKER_SPEC
-    _WORKER_SPEC = spec
-
-
-def _execute_point(spec: ExperimentSpec, point: Point, scale: float) -> Dict[str, Any]:
-    """Run one point under a deterministic per-point global-RNG seed.
-
-    The seed applies in serial and pooled execution alike, so a point
-    function that reaches for the global ``random`` module still yields
-    identical rows at any ``jobs``; the caller's RNG state is restored
-    afterwards, so the sweep has no side effect on library users."""
-    ctx = PointContext(
-        spec_name=spec.name,
-        params=point.params,
-        axis_values=point.axis_values,
-        variant=point.variant.name,
-        scale=scale,
-        seed=point.seed,
-    )
-    outer_state = random.getstate()
-    random.seed(point.seed)
-    try:
-        fragment = spec.point_fn(ctx)
-    finally:
-        random.setstate(outer_state)
-    if not isinstance(fragment, Mapping):
-        raise ConfigError(
-            f"experiment {spec.name!r} point_fn must return a column dict, "
-            f"got {type(fragment).__name__}"
-        )
-    return dict(fragment)
-
-
-def _pool_entry(payload: Tuple[Point, float]) -> Dict[str, Any]:
-    point, scale = payload
-    assert _WORKER_SPEC is not None, "pool initializer did not run"
-    return _execute_point(_WORKER_SPEC, point, scale)
-
+# Backward-compatible aliases: these lived here before the split.
+_execute_point = execute_point
 
 # ----------------------------------------------------------------------
-# on-disk point cache
-# ----------------------------------------------------------------------
-
-
-class PointCache:
-    """Completed-point cache: one JSON file per point, keyed by a hash
-    of the spec name, scale, seed, variant, and full parameter dict.
-
-    Values must be JSON-serializable (all built-in specs emit plain
-    numbers/strings); anything else is silently not cached."""
-
-    def __init__(self, root: str):
-        self.root = root
-        os.makedirs(root, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-
-    @staticmethod
-    def key(spec_name: str, point: Point, scale: float) -> str:
-        canon = repr(
-            (
-                spec_name,
-                point.variant.name,
-                scale,
-                point.seed,
-                sorted((k, repr(v)) for k, v in point.params.items()),
-            )
-        )
-        return hashlib.sha256(canon.encode()).hexdigest()
-
-    def _path(self, key: str) -> str:
-        return os.path.join(self.root, f"{key}.json")
-
-    def load(self, key: str) -> Optional[Dict[str, Any]]:
-        try:
-            with open(self._path(key)) as fh:
-                fragment = json.load(fh)
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return fragment
-
-    def store(self, key: str, fragment: Dict[str, Any]) -> None:
-        try:
-            blob = json.dumps(fragment)
-        except (TypeError, ValueError):
-            return  # not serializable: skip caching, never fail the run
-        tmp = self._path(key) + ".tmp"
-        with open(tmp, "w") as fh:
-            fh.write(blob)
-        os.replace(tmp, self._path(key))
-
-
-# ----------------------------------------------------------------------
-# the runner
+# result assembly (shared by SweepRunner and CampaignRunner)
 # ----------------------------------------------------------------------
 
 
@@ -141,6 +53,42 @@ def _json_safe(value: Any) -> Any:
     if isinstance(value, float) and not math.isfinite(value):
         return None
     return value
+
+
+def merge_rows(
+    spec: ExperimentSpec,
+    points: Sequence[Point],
+    fragments: Sequence[Optional[Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    """Merge per-point column fragments into rows in grid order.
+
+    ``None`` means "point did not run" and contributes nothing; an
+    empty dict is a *valid* fragment (a point that measured nothing
+    but completed) and must not be confused with a missing one."""
+    rows: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for point in points:
+        row = rows.get(point.row_key)
+        if row is None:
+            row = dict(point.axis_values)
+            rows[point.row_key] = row
+            order.append(point.row_key)
+        fragment = fragments[point.index]
+        if fragment is not None:
+            row.update(fragment)
+    finalized = []
+    for key in order:
+        row = rows[key]
+        if spec.finalize_row is not None:
+            row = dict(spec.finalize_row(row))
+        finalized.append(row)
+    return finalized
+
+
+def result_headers(
+    spec: ExperimentSpec, rows: Sequence[Dict[str, Any]]
+) -> Tuple[str, ...]:
+    return tuple(spec.headers) or (tuple(rows[0]) if rows else tuple(spec.axes))
 
 
 @dataclass
@@ -162,15 +110,13 @@ class SweepResult:
     def table(self) -> str:
         return format_table(self.headers, self.rows)
 
-    def to_json_dict(self) -> Dict[str, Any]:
+    def rows_json_dict(self) -> Dict[str, Any]:
+        """The deterministic part of the artifact: identical bytes for
+        identical rows, regardless of executor, timing, or resume."""
         return {
             "experiment": self.spec_name,
             "description": self.description,
             "scale": self.scale,
-            "jobs": self.jobs,
-            "points_total": self.points_total,
-            "points_cached": self.points_cached,
-            "elapsed_s": round(self.elapsed_s, 3),
             "headers": list(self.headers),
             # Strict JSON: non-finite floats (e.g. a NaN ratio from a
             # zero-goodput tiny-scale run) become null, not bare NaN.
@@ -179,21 +125,35 @@ class SweepResult:
             ],
         }
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        payload = self.rows_json_dict()
+        payload.update(
+            {
+                "jobs": self.jobs,
+                "points_total": self.points_total,
+                "points_cached": self.points_cached,
+                "elapsed_s": round(self.elapsed_s, 3),
+            }
+        )
+        return payload
+
     def write_json(self, path: str) -> None:
-        with open(path, "w") as fh:
+        # Write-then-rename: a run killed mid-write must never leave a
+        # truncated artifact for downstream tooling to choke on.
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
             json.dump(self.to_json_dict(), fh, indent=2)
             fh.write("\n")
+        os.replace(tmp, path)
 
 
-def _fork_or_spawn() -> multiprocessing.context.BaseContext:
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        return multiprocessing.get_context("spawn")
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
 
 
 class SweepRunner:
-    """Expand a spec and execute every point, optionally in parallel.
+    """Expand a spec and execute every point through an executor.
 
     Parameters
     ----------
@@ -202,15 +162,23 @@ class SweepRunner:
     scale:
         Measurement-window scale factor forwarded to every point.
     jobs:
-        Worker processes; 1 runs in-process (no pool).
+        Worker processes; 1 runs in-process (no pool).  Ignored when
+        an explicit ``executor`` is given.
     axes:
         Per-run axis overrides (e.g. a subset of object sizes).
     overrides:
         Parameter overrides merged over defaults/axis/variant values.
     cache_dir:
-        Enable the on-disk completed-point cache rooted here.
+        Enable the on-disk completed-point cache rooted here.  Ignored
+        when an explicit ``context`` is given.
     base_seed:
         Override the spec's seed root for per-point worker seeding.
+    executor:
+        Execution strategy; defaults to serial (``jobs == 1``) or a
+        ``multiprocessing`` pool.
+    context:
+        Completed-fragment store consulted before executing and fed as
+        fragments complete (e.g. a campaign journal).
     """
 
     def __init__(
@@ -222,6 +190,8 @@ class SweepRunner:
         overrides: Optional[Mapping[str, Any]] = None,
         cache_dir: Optional[str] = None,
         base_seed: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        context: Optional[RunContext] = None,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -230,8 +200,26 @@ class SweepRunner:
         self.jobs = jobs
         self.axes = axes
         self.overrides = overrides
-        self.cache = PointCache(cache_dir) if cache_dir else None
         self.base_seed = base_seed
+        if executor is None:
+            executor = PoolExecutor(jobs) if jobs > 1 else SerialExecutor()
+        self.executor = executor
+        # Keep the artifact's reported parallelism truthful when the
+        # executor was handed in directly (e.g. by a campaign).
+        if isinstance(executor, PoolExecutor):
+            self.jobs = executor.jobs
+        elif isinstance(executor, SubprocessExecutor):
+            self.jobs = executor.workers
+        if context is None and cache_dir:
+            context = CacheContext(PointCache(cache_dir))
+        self.context = context
+
+    # Kept for callers/tests that poke the cache object directly.
+    @property
+    def cache(self) -> Optional[PointCache]:
+        if isinstance(self.context, CacheContext):
+            return self.context.cache
+        return None
 
     # ------------------------------------------------------------------
     def run(self) -> SweepResult:
@@ -243,31 +231,28 @@ class SweepRunner:
 
         pending: List[Point] = []
         keys: Dict[int, str] = {}
-        if self.cache is not None:
+        if self.context is not None:
             for point in points:
-                key = PointCache.key(self.spec.name, point, self.scale)
+                key = point_key(self.spec.name, point, self.scale)
                 keys[point.index] = key
-                cached = self.cache.load(key)
-                if cached is not None:
-                    fragments[point.index] = cached
+                known = self.context.get(key)
+                if known is not None:
+                    fragments[point.index] = known
                 else:
                     pending.append(point)
         else:
             pending = list(points)
 
         cached_count = len(points) - len(pending)
-        for point, fragment in zip(pending, self._execute(pending)):
-            fragments[point.index] = fragment
-            if self.cache is not None:
-                self.cache.store(keys[point.index], fragment)
+        for index, fragment in self.executor.run(self.spec, pending, self.scale):
+            fragments[index] = fragment
+            if self.context is not None:
+                self.context.record(keys[index], fragment, stage=self.spec.name)
 
-        rows = self._merge_rows(points, fragments)
-        headers = tuple(self.spec.headers) or (
-            tuple(rows[0]) if rows else tuple(self.spec.axes)
-        )
+        rows = merge_rows(self.spec, points, fragments)
         return SweepResult(
             spec_name=self.spec.name,
-            headers=headers,
+            headers=result_headers(self.spec, rows),
             rows=rows,
             scale=self.scale,
             jobs=self.jobs,
@@ -276,47 +261,6 @@ class SweepRunner:
             elapsed_s=time.time() - start,
             description=self.spec.description,
         )
-
-    # ------------------------------------------------------------------
-    def _execute(self, points: Sequence[Point]) -> List[Dict[str, Any]]:
-        if not points:
-            return []
-        if self.jobs == 1 or len(points) == 1:
-            return [_execute_point(self.spec, p, self.scale) for p in points]
-        ctx = _fork_or_spawn()
-        workers = min(self.jobs, len(points))
-        with ctx.Pool(
-            processes=workers, initializer=_init_worker, initargs=(self.spec,)
-        ) as pool:
-            payloads = [(p, self.scale) for p in points]
-            # map() preserves submission order, so merged rows never
-            # depend on worker completion order.
-            return pool.map(_pool_entry, payloads)
-
-    # ------------------------------------------------------------------
-    def _merge_rows(
-        self,
-        points: Sequence[Point],
-        fragments: Sequence[Optional[Dict[str, Any]]],
-    ) -> List[Dict[str, Any]]:
-        rows: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
-        order: List[Tuple[Any, ...]] = []
-        for point in points:
-            row = rows.get(point.row_key)
-            if row is None:
-                row = dict(point.axis_values)
-                rows[point.row_key] = row
-                order.append(point.row_key)
-            fragment = fragments[point.index]
-            if fragment:
-                row.update(fragment)
-        finalized = []
-        for key in order:
-            row = rows[key]
-            if self.spec.finalize_row is not None:
-                row = dict(self.spec.finalize_row(row))
-            finalized.append(row)
-        return finalized
 
 
 def run_sweep(

@@ -85,6 +85,11 @@ class ExperimentSpec:
     derived-config hook: it maps the merged parameter dict to the final
     one (e.g. building a ``ClusterConfig`` from a scalar axis value)
     before execution, so point functions stay trivial.
+
+    ``qa_checks`` holds :class:`repro.experiments.qa.QaCheck`
+    assertions scored against the finished rows by the campaign layer
+    (and ``repro-campaign report``); campaign stages may add their own
+    on top.  The spec itself never evaluates them.
     """
 
     name: str
@@ -97,6 +102,7 @@ class ExperimentSpec:
     headers: Sequence[str] = ()
     description: str = ""
     base_seed: int = 1
+    qa_checks: Sequence[Any] = ()
 
     def __post_init__(self) -> None:
         if not self.name:

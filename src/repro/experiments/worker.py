@@ -1,0 +1,53 @@
+"""Campaign worker: execute pickled points shipped over stdin.
+
+This is the remote end of
+:class:`repro.experiments.executors.SubprocessExecutor`.  The parent
+launches ``{python} -m repro.experiments.worker`` (possibly wrapped in
+``ssh host ...``), writes one pickled payload::
+
+    {"ref": <spec reference>, "scale": <float>, "points": [Point, ...]}
+
+and closes stdin.  The worker resolves the spec from the reference —
+a registry name (built-ins load automatically) or a ``module:attr``
+path for specs living outside the registry — executes each point with
+the same deterministic per-point seeding as every other executor, and
+writes one JSON line per completed point to stdout::
+
+    {"index": <point.index>, "data": <base64(pickle(fragment))>}
+
+Fragments are base64-pickled so value types (tuples, ints vs floats)
+survive transport exactly; byte-identical rows across executors is the
+contract.  Failures emit ``{"error": ...}`` and exit non-zero.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import sys
+
+from repro.experiments.executors import execute_point, resolve_spec
+
+
+def serve(stdin=None, stdout=None) -> int:
+    stdin = stdin if stdin is not None else sys.stdin.buffer
+    stdout = stdout if stdout is not None else sys.stdout
+    try:
+        payload = pickle.load(stdin)
+        spec = resolve_spec(payload["ref"])
+        scale = payload["scale"]
+        for point in payload["points"]:
+            fragment = execute_point(spec, point, scale)
+            blob = base64.b64encode(pickle.dumps(fragment)).decode()
+            stdout.write(json.dumps({"index": point.index, "data": blob}) + "\n")
+            stdout.flush()
+    except Exception as exc:  # noqa: BLE001 - relayed to the parent
+        stdout.write(json.dumps({"error": f"{type(exc).__name__}: {exc}"}) + "\n")
+        stdout.flush()
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(serve())

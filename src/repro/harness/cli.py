@@ -8,6 +8,13 @@ Usage::
     repro-harness fig8 --scale 0.3 --jobs 8  # faster, parallel sweep
     repro-harness all --scale 0.2 --json-out results.json
     repro-harness fig7b --cache-dir .sweep-cache   # reuse finished points
+    repro-harness fig7a --axes object_size=64,512  # axis subset
+    repro-harness fig10 --overrides seed=7 --base-seed 3
+    repro-harness all --campaign-dir runs/all      # journaled + resumable
+
+``all`` runs through the campaign layer (one stage per registered
+experiment), so ``--campaign-dir`` makes it resumable after a crash
+and ``repro-campaign report`` can render the results.
 
 (Also installed as ``sabres-experiments`` for backward compatibility.)
 """
@@ -15,13 +22,15 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import ast
 import json
 import sys
-import time
-from typing import Optional
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.experiments import SweepRunner, registry
+from repro.experiments.campaign import CampaignRunner, CampaignSpec, CampaignStage
+from repro.experiments.context import CampaignContext
 from repro.harness.report import format_table
 
 
@@ -36,6 +45,42 @@ def run_experiment(
         registry.get(name), scale=scale, jobs=jobs, cache_dir=cache_dir
     ).run()
     return result.table()
+
+
+def _parse_value(text: str) -> Any:
+    """``64`` -> int, ``0.5`` -> float, ``'a'``/bare words -> str."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def parse_axes(entries: Sequence[str]) -> Optional[Dict[str, Tuple[Any, ...]]]:
+    """Parse repeated ``--axes name=v1,v2,...`` into an axes mapping."""
+    if not entries:
+        return None
+    axes: Dict[str, Tuple[Any, ...]] = {}
+    for entry in entries:
+        name, sep, raw = entry.partition("=")
+        if not sep or not name or not raw:
+            raise ConfigError(
+                f"--axes expects name=v1,v2,... got {entry!r}"
+            )
+        axes[name] = tuple(_parse_value(v) for v in raw.split(","))
+    return axes
+
+
+def parse_overrides(entries: Sequence[str]) -> Optional[Dict[str, Any]]:
+    """Parse repeated ``--overrides key=value`` into an override dict."""
+    if not entries:
+        return None
+    overrides: Dict[str, Any] = {}
+    for entry in entries:
+        key, sep, raw = entry.partition("=")
+        if not sep or not key:
+            raise ConfigError(f"--overrides expects key=value, got {entry!r}")
+        overrides[key] = _parse_value(raw)
+    return overrides
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -74,6 +119,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache completed sweep points on disk (keyed by config hash)",
     )
+    parser.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="override the spec's seed root for per-point seeding",
+    )
+    parser.add_argument(
+        "--axes",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2",
+        help="restrict an axis to the given values (repeatable)",
+    )
+    parser.add_argument(
+        "--overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a spec parameter (repeatable; values parsed as "
+        "Python literals, falling back to strings)",
+    )
+    parser.add_argument(
+        "--campaign-dir",
+        metavar="DIR",
+        default=None,
+        help="journal completed points under a campaign directory, "
+        "making the run crash-resumable ('all' resumes stage by stage; "
+        "render with repro-campaign report)",
+    )
     return parser
 
 
@@ -87,30 +161,56 @@ def main(argv=None) -> int:
             print(f"{name:<{width}}  {description}")
         return 0
 
-    names = list(registry.names()) if args.experiment == "all" else [args.experiment]
-    artifacts = {}
-    for name in names:
-        start = time.time()
-        try:
-            result = SweepRunner(
-                registry.get(name),
-                scale=args.scale,
-                jobs=args.jobs,
-                cache_dir=args.cache_dir,
-            ).run()
-        except ConfigError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        elapsed = time.time() - start
-        cached = (
-            f", {result.points_cached}/{result.points_total} points cached"
-            if args.cache_dir
-            else ""
+    try:
+        axes = parse_axes(args.axes)
+        overrides = parse_overrides(args.overrides)
+        names = (
+            list(registry.names()) if args.experiment == "all" else [args.experiment]
         )
-        print(f"=== {name} ({elapsed:.1f}s{cached}) ===")
-        print(format_table(result.headers, result.rows))
-        print()
-        artifacts[name] = result.to_json_dict()
+        # Single experiments and 'all' alike run as a campaign: one
+        # stage per spec, the chosen context deciding persistence.
+        campaign = CampaignSpec(
+            name="all" if args.experiment == "all" else args.experiment,
+            scale=args.scale,
+            stages=[
+                CampaignStage(
+                    experiment=name,
+                    axes=axes,
+                    overrides=overrides,
+                    base_seed=args.base_seed,
+                )
+                for name in names
+            ],
+        )
+        context = None
+        if args.campaign_dir:
+            context = CampaignContext(args.campaign_dir)
+        elif args.cache_dir:
+            from repro.experiments.context import CacheContext, PointCache
+
+            context = CacheContext(PointCache(args.cache_dir))
+        from repro.experiments.executors import make_executor
+
+        runner = CampaignRunner(
+            campaign,
+            executor=make_executor(jobs=args.jobs),
+            context=context,
+        )
+        artifacts = {}
+        for stage_result in runner.iter_run():
+            result = stage_result.result
+            cached = (
+                f", {result.points_cached}/{result.points_total} points cached"
+                if (args.cache_dir or args.campaign_dir)
+                else ""
+            )
+            print(f"=== {stage_result.stage} ({result.elapsed_s:.1f}s{cached}) ===")
+            print(format_table(result.headers, result.rows))
+            print()
+            artifacts[stage_result.stage] = result.to_json_dict()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.json_out:
         payload = artifacts[names[0]] if len(names) == 1 else artifacts

@@ -127,6 +127,40 @@ class ScenarioTiming:
         out.update(self.extras)
         return out
 
+    #: to_json_dict keys that are derived or core (everything else in a
+    #: journaled payload is an ``extras`` counter).
+    _CORE_KEYS = frozenset(
+        {
+            "wall_s",
+            "events_scheduled",
+            "events_fired",
+            "events_cancelled",
+            "events_per_s",
+            "fired_per_s",
+            "sim_ns",
+            "sim_ns_per_s",
+            "ops",
+            "ops_per_s",
+        }
+    )
+
+    @classmethod
+    def from_json_dict(cls, name: str, data: Dict[str, Any]) -> "ScenarioTiming":
+        """Rebuild a timing from its journaled ``to_json_dict`` payload
+        (derived ``*_per_s`` rates recompute from the raw fields)."""
+        return cls(
+            name=name,
+            wall_s=float(data["wall_s"]),
+            events_scheduled=int(data["events_scheduled"]),
+            events_fired=int(data["events_fired"]),
+            sim_ns=float(data["sim_ns"]),
+            ops=float(data["ops"]),
+            events_cancelled=int(data.get("events_cancelled", 0)),
+            extras={
+                k: v for k, v in data.items() if k not in cls._CORE_KEYS
+            },
+        )
+
 
 def run_scenario(
     name: str,
@@ -205,9 +239,13 @@ class BenchResult:
         return out
 
     def write_json(self, path: str) -> None:
-        with open(path, "w") as fh:
+        # Write-then-rename: a suite killed mid-write must never leave
+        # a truncated BENCH artifact for the compare gate to choke on.
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
             json.dump(self.to_json_dict(), fh, indent=2)
             fh.write("\n")
+        os.replace(tmp, path)
 
 
 def _speedups(
@@ -232,28 +270,55 @@ def _speedups(
     return speedups
 
 
+def _scenario_key(name: str, scale: float, repeats: int, engine: str) -> str:
+    """Journal key for one scenario measurement configuration."""
+    import hashlib
+
+    canon = repr(("repro-perf", 1, name, scale, repeats, engine))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
 def run_suite(
     names: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     repeats: int = 2,
     engine: Optional[str] = None,
     reference_path: Optional[str] = None,
+    journal: Optional[Any] = None,
 ) -> BenchResult:
     """Run the (selected) scenarios and assemble a :class:`BenchResult`.
 
     ``reference_path`` names a previously written BENCH JSON (e.g. the
     committed pre-optimization reference); when given, the result embeds
     per-scenario speedup ratios against it.
+
+    ``journal`` is a :class:`repro.experiments.context.RunContext`
+    (typically a campaign directory's context): each scenario's timing
+    is recorded as it lands, and already-journaled scenarios are served
+    back instead of re-measured — so a killed suite resumes from the
+    unfinished scenarios, exactly like an experiment campaign.  Wall
+    times are of course only as fresh as the attempt that measured
+    them; delete the journal to force re-measurement.
     """
     chosen = list(names) if names else list(SCENARIOS)
+    effective = engine or os.environ.get(SCHEDULER_ENV, "calendar")
     start = time.perf_counter()
     timings: Dict[str, ScenarioTiming] = {}
     for name in chosen:
+        key = None
+        if journal is not None:
+            key = _scenario_key(name, scale, repeats, effective)
+            cached = journal.get(key)
+            if cached is not None:
+                timings[name] = ScenarioTiming.from_json_dict(name, cached)
+                continue
         timings[name] = run_scenario(
             name, scale=scale, repeats=repeats, engine=engine
         )
+        if journal is not None and key is not None:
+            journal.record(key, timings[name].to_json_dict(), stage=name)
     elapsed = time.perf_counter() - start
-    effective_engine = engine or os.environ.get(SCHEDULER_ENV, "calendar")
+    effective_engine = effective
     reference = None
     if reference_path:
         with open(reference_path) as fh:

@@ -105,6 +105,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="BENCH JSON to embed per-scenario speedup ratios against",
     )
+    run_p.add_argument(
+        "--campaign-dir",
+        default=None,
+        metavar="DIR",
+        help="journal finished scenarios under a campaign directory; "
+        "a killed suite resumes from the unfinished ones",
+    )
 
     cmp_p = sub.add_parser(
         "compare", help="diff a BENCH_perf.json against a baseline"
@@ -167,13 +174,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "run":
+        journal = None
+        if args.campaign_dir:
+            from repro.experiments.context import CampaignContext
+
+            journal = CampaignContext(args.campaign_dir)
         result = run_suite(
             names=args.scenarios or None,
             scale=args.scale,
             repeats=args.repeats,
             engine=args.engine,
             reference_path=args.reference,
+            journal=journal,
         )
+        if journal is not None:
+            journal.close()
+            print(
+                f"journal: {journal.hits} scenario(s) served from "
+                f"{args.campaign_dir}, {journal.misses} measured"
+            )
         result.write_json(args.json_out)
         for name, timing in result.scenarios.items():
             print(

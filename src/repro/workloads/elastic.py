@@ -46,7 +46,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
 from repro.common.errors import ConfigError
-from repro.experiments import ExperimentSpec, Variant, register
+from repro.experiments import ExperimentSpec, QaCheck, Variant, register
 from repro.faults import FaultInjector, FaultSchedule
 from repro.harness.report import scaled_duration
 from repro.objstore.reshard import (
@@ -536,6 +536,10 @@ ELASTIC_SCALING_SPEC = register(
         headers=ELASTIC_HEADERS,
         point_fn=_elastic_point,
         base_seed=43,
+        qa_checks=tuple(
+            QaCheck(f"{label}_violations", agg="max", hi=0.0)
+            for label, _ in DETECTING_VARIANTS
+        ),
     )
 )
 
@@ -587,5 +591,6 @@ HOTKEY_REBALANCE_SPEC = register(
         headers=HOTKEY_HEADERS,
         point_fn=_hotkey_point,
         base_seed=47,
+        qa_checks=(QaCheck("undetected_violations", agg="max", hi=0.0),),
     )
 )

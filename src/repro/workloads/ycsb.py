@@ -38,7 +38,7 @@ from typing import Dict, List
 from repro.common.costs import DEFAULT_COSTS, SoftwareCosts
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
-from repro.experiments import ExperimentSpec, Variant, register
+from repro.experiments import ExperimentSpec, QaCheck, Variant, register
 from repro.harness.report import scaled_duration
 from repro.objstore.sharded import ShardedConfig, ShardedKV
 from repro.sim.stats import Samples
@@ -306,6 +306,10 @@ YCSB_LATENCY_SPEC = register(
         headers=LATENCY_HEADERS,
         point_fn=_ycsb_latency_point,
         base_seed=11,
+        qa_checks=(
+            QaCheck("sabre_read_ns", agg="min", lo=0.0),
+            QaCheck("percl_read_ns", agg="min", lo=0.0),
+        ),
     )
 )
 
@@ -354,5 +358,6 @@ YCSB_SHARD_SCALING_SPEC = register(
         headers=SCALING_HEADERS,
         point_fn=_ycsb_scaling_point,
         base_seed=13,
+        qa_checks=(QaCheck("undetected_violations", agg="max", hi=0.0),),
     )
 )

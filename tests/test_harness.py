@@ -161,3 +161,59 @@ class TestCli:
     def test_cli_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["nope"])
+
+    def test_parse_axes_and_overrides(self):
+        from repro.common.errors import ConfigError
+        from repro.harness.cli import parse_axes, parse_overrides
+
+        assert parse_axes(["object_size=64,512"]) == {"object_size": (64, 512)}
+        assert parse_axes([]) is None
+        assert parse_overrides(["seed=7", "mode='fast'"]) == {
+            "seed": 7,
+            "mode": "fast",
+        }
+        assert parse_overrides([]) is None
+        with pytest.raises(ConfigError):
+            parse_axes(["missing_equals"])
+        with pytest.raises(ConfigError):
+            parse_overrides(["alsobad"])
+
+    def test_cli_axes_overrides_base_seed(self, capsys):
+        assert (
+            main(
+                [
+                    "fig10",
+                    "--scale",
+                    "0.2",
+                    "--axes",
+                    "object_size=128,512",
+                    "--overrides",
+                    "seed=9",
+                    "--base-seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()[:1].isdigit()]
+        assert len(lines) == 2  # only the two requested sizes
+
+    def test_cli_bad_axis_exits_2(self, capsys):
+        assert main(["fig10", "--axes", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_campaign_dir_resumes(self, tmp_path, capsys):
+        root = str(tmp_path / "camp")
+        argv = ["fig10", "--scale", "0.2", "--campaign-dir", root]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0/" in first  # nothing journaled yet
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "points cached" in second
+        # Every point served from the journal on the second run.
+        import re
+
+        match = re.search(r"(\d+)/(\d+) points cached", second)
+        assert match and match.group(1) == match.group(2)

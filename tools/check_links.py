@@ -1,20 +1,22 @@
 #!/usr/bin/env python3
-"""Fail on broken intra-repo markdown links.
+"""Fail on broken intra-repo markdown and HTML links.
 
 Scans every ``*.md`` file in the repository for inline links and
-images (``[text](target)`` / ``![alt](target)``), skips external
-targets (``http(s)://``, ``mailto:``) and pure in-page anchors
-(``#...``), and verifies that every remaining target resolves to an
-existing file or directory relative to the markdown file (or to the
-repo root for absolute ``/``-prefixed targets).  Anchors on file
-targets (``foo.md#section``) are checked for file existence only.
+images (``[text](target)`` / ``![alt](target)``) and every ``*.html``
+file for ``href``/``src`` attributes, skips external targets
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``),
+and verifies that every remaining target resolves to an existing file
+or directory relative to the source file (or to the scan root for
+absolute ``/``-prefixed targets).  Anchors on file targets
+(``foo.md#section``) are checked for file existence only.
 
 Usage::
 
-    python tools/check_links.py [repo_root]
+    python tools/check_links.py [root]
 
 Exits 1 listing every broken link, 0 when the docs are sound.  Run by
-the CI docs job so documentation cannot rot silently.
+the CI docs job so documentation cannot rot silently, and by the
+campaign smoke job against rendered ``repro-campaign`` HTML reports.
 """
 
 from __future__ import annotations
@@ -26,6 +28,9 @@ from pathlib import Path
 #: Inline markdown link/image: capture the (non-empty) target.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
+#: HTML link/asset attribute: capture the quoted target.
+HTML_RE = re.compile(r"""(?:href|src)\s*=\s*["']([^"']+)["']""")
+
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
 #: Reference dumps quoting external repos/papers verbatim: links in
@@ -33,18 +38,24 @@ SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
 SKIP_FILES = {"SNIPPETS.md", "PAPERS.md"}
 
 
-def iter_markdown(root: Path):
-    for path in sorted(root.rglob("*.md")):
-        if path.name in SKIP_FILES and path.parent == root:
-            continue
-        if not SKIP_DIRS.intersection(part for part in path.parts):
-            yield path
+def iter_sources(root: Path):
+    for pattern in ("*.md", "*.html"):
+        for path in sorted(root.rglob(pattern)):
+            if path.name in SKIP_FILES and path.parent == root:
+                continue
+            if not SKIP_DIRS.intersection(part for part in path.parts):
+                yield path
+
+
+#: Back-compat alias (pre-HTML name).
+iter_markdown = iter_sources
 
 
 def check_file(root: Path, md: Path) -> list:
     broken = []
+    pattern = HTML_RE if md.suffix == ".html" else LINK_RE
     for lineno, line in enumerate(md.read_text().splitlines(), start=1):
-        for match in LINK_RE.finditer(line):
+        for match in pattern.finditer(line):
             target = match.group(1)
             if target.startswith(SKIP_PREFIXES):
                 continue
@@ -65,7 +76,7 @@ def main(argv=None) -> int:
     root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parents[1]
     broken = []
     checked = 0
-    for md in iter_markdown(root):
+    for md in iter_sources(root):
         checked += 1
         broken.extend(check_file(root, md))
     if broken:
@@ -73,7 +84,7 @@ def main(argv=None) -> int:
         for path, lineno, target in broken:
             print(f"  {path}:{lineno}: {target}")
         return 1
-    print(f"ok: {checked} markdown files, no broken intra-repo links")
+    print(f"ok: {checked} markdown/html files, no broken intra-repo links")
     return 0
 
 
