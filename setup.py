@@ -19,6 +19,8 @@ setup(
             "repro-harness=repro.harness.cli:main",
             "repro-perf=repro.perf.cli:main",
             "repro-campaign=repro.experiments.campaign_cli:main",
+            "repro-serve=repro.serve.cli:main",
+            "repro-load=repro.loadgen.cli:main",
             # Historical name, kept for compatibility.
             "sabres-experiments=repro.harness.cli:main",
         ]

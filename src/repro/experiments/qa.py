@@ -4,9 +4,16 @@ A :class:`QaCheck` is a declarative assertion over one result column
 ("aggregate column C across the stage's rows with ``agg``; the value
 must sit inside ``[min, max]``").  Specs attach baseline checks via
 ``ExperimentSpec.qa_checks``; campaign stages may add or tighten
-checks per request.  Evaluation never raises on missing or non-numeric
-data — a check that cannot be evaluated *fails* with a reason, because
-silently green QA on absent columns is how reports rot.
+checks per request.  Evaluation never raises on missing, non-numeric,
+or non-finite data — a check that cannot be evaluated *fails* with a
+reason, because silently green QA on absent columns is how reports
+rot.  NaN gets the same treatment explicitly: ``NaN >= lo`` is False
+and ``NaN <= hi`` is False, so under the plain bound arithmetic a NaN
+aggregate *happened* to fail ``lo``-bounded checks while the
+order-dependence of ``min``/``max`` over NaN decided others by
+coin-flip — the verdict came from IEEE comparison accidents, not from
+a decision.  Non-finite values now short-circuit to an explicit FAIL
+with the offending value in the reason.
 
 The verdict model is deliberately small: each check passes or fails,
 a stage's verdict is ``pass``/``fail`` (or ``none`` when it has no
@@ -15,6 +22,7 @@ checks), and the campaign verdict is the worst stage verdict.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
@@ -138,24 +146,29 @@ def evaluate(
     outcomes: List[QaOutcome] = []
     for check in checks:
         values: List[float] = []
-        bad = None
+        bad_reason = ""
         for row in rows:
             value = row.get(check.column)
             if value is None:
                 continue
             if isinstance(value, bool) or not isinstance(value, (int, float)):
-                bad = value
+                bad_reason = (
+                    f"non-numeric value {value!r} in column {check.column!r}"
+                )
+                break
+            if not math.isfinite(value):
+                # Caught per value, not post-aggregation: Python's
+                # min/max over NaN are order-dependent (the comparison
+                # is False both ways, so whichever operand the loop
+                # keeps wins), which let NaN rows slip through bound
+                # checks by IEEE-comparison accident.
+                bad_reason = (
+                    f"non-finite value {value!r} in column {check.column!r}"
+                )
                 break
             values.append(float(value))
-        if bad is not None:
-            outcomes.append(
-                QaOutcome(
-                    check,
-                    False,
-                    None,
-                    f"non-numeric value {bad!r} in column {check.column!r}",
-                )
-            )
+        if bad_reason:
+            outcomes.append(QaOutcome(check, False, None, bad_reason))
             continue
         if not values:
             outcomes.append(
@@ -168,6 +181,19 @@ def evaluate(
             )
             continue
         observed = _aggregate(values, check.agg)
+        if not math.isfinite(observed):
+            # Belt and braces: finite inputs can still overflow to
+            # inf under sum/mean.
+            outcomes.append(
+                QaOutcome(
+                    check,
+                    False,
+                    observed,
+                    f"aggregate {check.agg}({check.column!r}) is "
+                    f"non-finite ({observed!r})",
+                )
+            )
+            continue
         ok = (check.lo is None or observed >= check.lo) and (
             check.hi is None or observed <= check.hi
         )

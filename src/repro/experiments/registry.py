@@ -31,6 +31,7 @@ _BUILTIN_MODULES = (
     "repro.workloads.txn_mix",
     "repro.workloads.availability",
     "repro.workloads.elastic",
+    "repro.loadgen.sweep",
 )
 _builtin_loaded = False
 

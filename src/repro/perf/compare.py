@@ -3,9 +3,17 @@
 A scenario *regresses* when its throughput falls more than
 ``threshold`` (default 15 %) below the baseline on the gated metric
 (default ``events_per_s``).  Improvements never fail the gate — they
-are how the baseline gets refreshed.  Scenarios present on only one
-side are reported but never fail the gate (new scenarios must be able
-to land before their baseline does).
+are how the baseline gets refreshed.
+
+One-sided scenarios are asymmetric:
+
+* **current without baseline** passes — new scenarios must be able to
+  land before their baseline does;
+* **baseline without current** FAILS — a benchmark that silently
+  stops running (renamed, crashed, filtered out) is indistinguishable
+  from a 100 % regression, and for a long time this gate shrugged it
+  off as "missing" and reported PASS.  Deleting a scenario for real
+  means deleting its baseline entry in the same change.
 """
 
 from __future__ import annotations
@@ -33,9 +41,18 @@ class ScenarioDelta:
 
     @property
     def ratio(self) -> Optional[float]:
+        # ``not self.baseline`` also catches a 0.0 baseline: no
+        # meaningful ratio exists (and no ZeroDivisionError either) —
+        # the scenario is treated as having no usable baseline.
         if not self.baseline or self.current is None:
             return None
         return self.current / self.baseline
+
+    @property
+    def vanished(self) -> bool:
+        """Baseline entry exists but the current run never produced
+        the scenario — the silently-stopped-benchmark case."""
+        return self.baseline is not None and self.current is None
 
     def regressed(self, threshold: float) -> bool:
         ratio = self.ratio
@@ -53,8 +70,13 @@ class CompareResult:
         return [d for d in self.deltas if d.regressed(self.threshold)]
 
     @property
+    def vanished(self) -> List[ScenarioDelta]:
+        """Scenarios with a baseline but no current measurement."""
+        return [d for d in self.deltas if d.vanished]
+
+    @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.regressions and not self.vanished
 
     def report(self) -> str:
         lines = [
@@ -62,8 +84,14 @@ class CompareResult:
             f"regression threshold {self.threshold:.0%}"
         ]
         for d in self.deltas:
+            if d.vanished:
+                lines.append(
+                    f"  {d.name:<24} VANISHED (baseline "
+                    f"{d.baseline:.1f}, no current measurement)"
+                )
+                continue
             if d.ratio is None:
-                status = "no-baseline" if d.baseline in (None, 0) else "missing"
+                status = "no-baseline"
                 lines.append(f"  {d.name:<24} {status}")
                 continue
             flag = "REGRESSION" if d.regressed(self.threshold) else "ok"

@@ -326,6 +326,37 @@ class TestQa:
         assert all(not o.passed for o in report.outcomes)
         assert all(o.reason for o in report.outcomes)
 
+    @pytest.mark.parametrize("agg", ["min", "max", "mean", "sum", "first", "last"])
+    @pytest.mark.parametrize("poison", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_rows_fail_loud_for_every_agg(self, agg, poison):
+        # Before the explicit isfinite guard, NaN rows resolved bound
+        # checks by IEEE-comparison accident: min/max over NaN are
+        # order-dependent in Python, and `NaN <= hi` is simply False.
+        # Bounds chosen so finite rows alone would pass every agg.
+        rows = [{"v": 1.0}, {"v": poison}, {"v": 2.0}]
+        report = qa.evaluate("s", [QaCheck("v", agg=agg, lo=0.0, hi=10.0)], rows)
+        outcome = report.outcomes[0]
+        assert not outcome.passed
+        assert "non-finite" in outcome.reason
+        assert report.verdict == "fail"
+
+    def test_nan_order_does_not_matter(self):
+        # The historical accident: [nan, 1.0] vs [1.0, nan] gave
+        # different min() results. Both orders must now fail the same.
+        for rows in ([{"v": float("nan")}, {"v": 1.0}],
+                     [{"v": 1.0}, {"v": float("nan")}]):
+            report = qa.evaluate("s", [QaCheck("v", agg="min", lo=0.0)], rows)
+            assert not report.outcomes[0].passed
+            assert "non-finite" in report.outcomes[0].reason
+
+    def test_finite_rows_overflowing_sum_fail_loud(self):
+        big = 1e308
+        rows = [{"v": big}, {"v": big}]  # finite inputs, inf sum
+        report = qa.evaluate("s", [QaCheck("v", agg="sum", lo=0.0)], rows)
+        outcome = report.outcomes[0]
+        assert not outcome.passed
+        assert "non-finite" in outcome.reason
+
     def test_check_validation(self):
         with pytest.raises(ConfigError):
             QaCheck("v")  # no bounds

@@ -52,9 +52,32 @@ class TestCompareGate:
         )
         assert result.ok
 
-    def test_scenario_missing_from_current_never_fails(self):
+    def test_scenario_missing_from_current_fails(self):
+        # A benchmark that silently stops running is indistinguishable
+        # from a 100% regression; for a long time this passed.
         result = compare_benchmarks(_bench({}), _bench({"gone": 100.0}))
+        assert not result.ok
+        assert [d.name for d in result.vanished] == ["gone"]
+        assert not result.regressions
+        report = result.report()
+        assert "VANISHED" in report and "FAIL" in report
+
+    def test_vanished_scenario_warn_only_lane_still_passes(self, tmp_path):
+        cur = tmp_path / "cur.json"
+        base = tmp_path / "base.json"
+        cur.write_text(json.dumps(_bench({})))
+        base.write_text(json.dumps(_bench({"gone": 100.0})))
+        # Enforced lane (main) fails; --warn-only lane (PRs) exits 0.
+        assert perf_main(["compare", str(cur), str(base)]) == 1
+        assert perf_main(["compare", str(cur), str(base), "--warn-only"]) == 0
+
+    def test_zero_baseline_has_no_ratio_and_passes(self):
+        result = compare_benchmarks(_bench({"a": 50.0}), _bench({"a": 0.0}))
+        delta = result.deltas[0]
+        assert delta.ratio is None  # no ZeroDivisionError, no verdict
+        assert not delta.vanished
         assert result.ok
+        assert "no-baseline" in result.report()
 
     def test_bad_threshold_rejected(self):
         with pytest.raises(ConfigError):
